@@ -1,0 +1,97 @@
+"""Ablation of Cascade's §4 optimisations (the Figure 9 progression).
+
+Each stage of the paper's optimisation flow removes a communication
+bottleneck:
+
+* 9.1 -> 9.2  inlining user logic into one subprogram (§4.2),
+* 9.3 -> 9.4  ABI forwarding of standard components (§4.3),
+* 9.4 -> 9.5  open-loop scheduling (§4.4).
+
+This bench measures the virtual clock rate of the running example with
+each optimisation progressively enabled and asserts that every step
+helps, by roughly the mechanism the paper describes.
+"""
+
+import pytest
+
+from repro.backend.compiler import CompileService
+from repro.core.runtime import Runtime
+
+pytestmark = pytest.mark.benchmark(group="ablation")
+
+PROGRAM = """
+module Rol(input wire [7:0] x, output wire [7:0] y);
+  assign y = (x == 8'h80) ? 1 : (x << 1);
+endmodule
+reg [7:0] cnt = 1;
+Rol r(.x(cnt));
+always @(posedge clk.val)
+  if (pad.val == 0)
+    cnt <= r.y;
+assign led.val = cnt;
+"""
+
+
+def _rate(inline: bool, jit: bool, forwarding: bool,
+          open_loop: bool, iterations: int = 3000) -> float:
+    rt = Runtime(
+        compile_service=CompileService(latency_scale=0.0),
+        inline_user_logic=inline,
+        enable_jit=jit,
+        enable_forwarding=forwarding,
+        enable_open_loop=open_loop)
+    rt.eval_source(PROGRAM)
+    rt.run(iterations=64)   # let the JIT settle
+    t0 = rt.time_model.now_seconds
+    c0 = rt.virtual_clock_ticks
+    rt.run(iterations=iterations)
+    dt = rt.time_model.now_seconds - t0
+    return (rt.virtual_clock_ticks - c0) / dt
+
+
+def test_ablation_progression(benchmark):
+    def run_all():
+        return {
+            "sw_split": _rate(inline=False, jit=False, forwarding=False,
+                              open_loop=False, iterations=600),
+            "sw_inlined": _rate(inline=True, jit=False, forwarding=False,
+                                open_loop=False, iterations=600),
+            "hw_no_forwarding": _rate(inline=True, jit=True,
+                                      forwarding=False, open_loop=False),
+            "hw_forwarding": _rate(inline=True, jit=True,
+                                   forwarding=True, open_loop=False),
+            "hw_open_loop": _rate(inline=True, jit=True, forwarding=True,
+                                  open_loop=True, iterations=300_000),
+        }
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\nAblation: virtual clock rate by configuration")
+    for name, hz in rates.items():
+        print(f"  {name:18s} {hz:14.1f} Hz")
+
+    # 9.1 -> 9.2: inlining reduces plane traffic and event counts.
+    assert rates["sw_inlined"] >= rates["sw_split"] * 1.1
+    # Software -> hardware engine is a large jump even with the
+    # runtime in the loop.
+    assert rates["hw_no_forwarding"] > rates["sw_inlined"] * 2
+    # Forwarding removes standard-component messages.
+    assert rates["hw_forwarding"] >= rates["hw_no_forwarding"]
+    # Open loop amortises the runtime round trip over huge batches:
+    # the decisive optimisation (orders of magnitude).
+    assert rates["hw_open_loop"] > rates["hw_forwarding"] * 50
+
+
+def test_unsynthesizable_pins_software(benchmark):
+    """A subprogram using unsynthesizable constructs never migrates —
+    the engine stays in software and keeps full expressiveness."""
+    def run():
+        rt = Runtime(compile_service=CompileService(latency_scale=0.0))
+        rt.eval_source(PROGRAM + """
+always @(posedge clk.val)
+  #1 $display("delayed");
+""")
+        rt.run(iterations=200)
+        return rt
+    rt = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rt.user_engine_location() == "software"
+    assert "main" in rt.unsynthesizable

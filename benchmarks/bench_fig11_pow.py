@@ -1,0 +1,77 @@
+"""Figure 11 — Proof-of-work performance benchmark (paper §6.1).
+
+Regenerates the figure's three series: iVerilog (interpreted, flat),
+Quartus (nothing until compilation finishes, then native 50 MHz), and
+Cascade (runs in under a second, simulates faster than iVerilog while
+compiling in the background, then transitions to open-loop hardware
+within a small factor of native).  Also checks the §6.1 spatial
+overhead claim (Cascade's instrumented bitstream is larger).
+
+Paper numbers for reference: iVerilog 650 Hz; Cascade sim 2.4x faster
+than iVerilog; open-loop within 2.9x of the 50 MHz native clock;
+spatial overhead 2.9x; Quartus compile ~10 minutes.
+"""
+
+import pytest
+
+from repro.perf.figures import measure_pow_timeline, piecewise_series
+
+pytestmark = pytest.mark.benchmark(group="fig11")
+
+
+@pytest.fixture(scope="module")
+def pow_rates():
+    return measure_pow_timeline(target_zeros=12, sim_iterations=400,
+                                hw_iterations=200_000)
+
+
+def test_fig11_timeline(pow_rates, benchmark):
+    rates = pow_rates
+
+    def summarize():
+        return rates.as_dict()
+
+    result = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    # --- print the figure's series ------------------------------------
+    horizon = rates.horizon_s
+    cascade = piecewise_series(
+        [(rates.startup_s, rates.cascade_sim_hz),
+         (rates.cascade_compile_s, rates.cascade_hw_hz)], horizon, 16)
+    quartus = piecewise_series(
+        [(rates.quartus_compile_s, rates.native_hz)], horizon, 16)
+    iverilog = piecewise_series(
+        [(rates.startup_s, rates.iverilog_hz)], horizon, 16)
+    print("\nFigure 11: virtual clock frequency (Hz) vs time (s)")
+    print(f"{'t(s)':>8} {'iVerilog':>12} {'Quartus':>12} {'Cascade':>14}")
+    for (t, i), (_, q), (_, c) in zip(iverilog, quartus, cascade):
+        print(f"{t:8.0f} {i:12.1f} {q:12.1f} {c:14.1f}")
+    print(f"\nspatial overhead: {rates.spatial_overhead:.2f}x "
+          f"(paper: 2.9x)")
+    print(f"cascade compile: {rates.cascade_compile_s:.0f}s, "
+          f"quartus compile: {rates.quartus_compile_s:.0f}s "
+          f"(paper: ~600s)")
+
+    # --- shape assertions -----------------------------------------------
+    # Cascade starts in under a second (paper: "less than a second").
+    assert rates.startup_s < 1.0
+    # Cascade's simulation beats the interpreted baseline.
+    assert rates.cascade_sim_hz > rates.iverilog_hz
+    assert rates.cascade_sim_hz / rates.iverilog_hz < 6.0
+    # Open-loop hardware is within a small factor of native (paper 2.9x).
+    assert rates.native_hz / 6.0 < rates.cascade_hw_hz <= rates.native_hz
+    # Cascade is running long before Quartus produces anything.
+    assert rates.startup_s < rates.quartus_compile_s / 100
+    # The instrumented bitstream is meaningfully larger.
+    assert 1.5 < rates.spatial_overhead < 5.0
+    assert result["cascade_hw_hz"] > 1e6
+
+
+def test_fig11_crossover_order(pow_rates, benchmark):
+    """Who wins at each phase of the timeline."""
+    rates = benchmark.pedantic(lambda: pow_rates, rounds=1, iterations=1)
+    # Before either compile finishes: Cascade > iVerilog > Quartus(0).
+    assert rates.cascade_sim_hz > rates.iverilog_hz > 0
+    # After both compiles: Quartus native > Cascade hw > simulators.
+    assert rates.native_hz > rates.cascade_hw_hz
+    assert rates.cascade_hw_hz > 1000 * rates.cascade_sim_hz

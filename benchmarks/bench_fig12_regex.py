@@ -1,0 +1,90 @@
+"""Figure 12 — Streaming regular-expression IO/s benchmark (§6.2).
+
+Regenerates the figure's two series: Quartus (nothing until compile
+completes, then transport-bound IO) and Cascade (starts in under a
+second at interpreter IO rates, transitions to open-loop hardware at
+nearly the Quartus rate).  The workload processes one byte at a time
+through the standard-library FIFO, exactly the configuration the paper
+uses to measure how well Cascade matches the memory latency of a
+Quartus-provided peripheral.
+
+Paper numbers for reference: Cascade sim 32 KIO/s; after 9.5 minutes
+open-loop reaches 492 KIO/s vs 560 KIO/s for Quartus; spatial overhead
+6.5x.
+"""
+
+import pytest
+
+from repro.perf.figures import measure_regex_timeline, piecewise_series
+
+pytestmark = pytest.mark.benchmark(group="fig12")
+
+
+@pytest.fixture(scope="module")
+def regex_rates():
+    return measure_regex_timeline(stream_len=1 << 15)
+
+
+def test_fig12_timeline(regex_rates, benchmark):
+    rates = regex_rates
+    result = benchmark.pedantic(rates.as_dict, rounds=1, iterations=1)
+
+    horizon = rates.horizon_s
+    cascade = piecewise_series(
+        [(rates.startup_s, rates.cascade_sim_io_s),
+         (rates.cascade_compile_s, rates.cascade_hw_io_s)], horizon, 16)
+    quartus = piecewise_series(
+        [(rates.quartus_compile_s, rates.quartus_io_s)], horizon, 16)
+    print("\nFigure 12: memory latency (IO/s) vs time (s)")
+    print(f"{'t(s)':>8} {'Quartus':>12} {'Cascade':>14}")
+    for (t, q), (_, c) in zip(quartus, cascade):
+        print(f"{t:8.0f} {q:12.1f} {c:14.1f}")
+    print(f"\nspatial overhead: {rates.spatial_overhead:.2f}x "
+          f"(paper: 6.5x)")
+    print(f"cascade hw {rates.cascade_hw_io_s / 1000:.0f} KIO/s vs "
+          f"quartus {rates.quartus_io_s / 1000:.0f} KIO/s "
+          f"(paper: 492 vs 560)")
+
+    # --- shape assertions ---------------------------------------------
+    assert rates.startup_s < 1.0
+    # Software IO rate is orders of magnitude below hardware.
+    assert rates.cascade_sim_io_s < rates.cascade_hw_io_s / 100
+    # Open-loop hardware approaches but does not exceed the Quartus
+    # (transport-bound) rate — "nearly identical" in the paper.
+    assert rates.cascade_hw_io_s <= rates.quartus_io_s * 1.01
+    assert rates.cascade_hw_io_s > rates.quartus_io_s * 0.5
+    # IO designs pay a larger relative instrumentation cost than the
+    # compute-bound PoW design pays... at minimum a real overhead.
+    assert rates.spatial_overhead > 1.2
+    assert result["dfa_states"] >= 2
+
+
+def test_fig12_match_correctness(benchmark):
+    """The matcher in hardware counts exactly what the DFA counts."""
+    import random
+
+    from repro.apps.regex import reference_match_count, regex_program
+    from repro.backend.compiler import CompileService
+    from repro.core.runtime import Runtime
+
+    pattern = "GET (/[a-z0-9]*)+ HTTP"
+    rng = random.Random(11)
+    data = bytes(rng.choice(b"abcGET /items HTTPdef ")
+                 for _ in range(600)) + b"GET /a1/b2 HTTP"
+    want = reference_match_count(pattern, data)
+
+    def run():
+        rt = Runtime(compile_service=CompileService(latency_scale=0.0))
+        text, _ = regex_program(pattern)
+        rt.eval_source(text)
+        rt.run(iterations=40)
+        fifo = rt.board.fifo("input_fifo")
+        fifo.attach_source(data, bytes_per_sec=1e9)
+        for _ in range(600):
+            rt.run(iterations=300)
+            if fifo.source_exhausted and fifo.empty:
+                break
+        rt.run(iterations=500)
+        return rt
+    rt = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rt.board.leds.value == (want & 0xFF)

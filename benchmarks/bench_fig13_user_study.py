@@ -1,0 +1,64 @@
+"""Figure 13 — User-study benchmark (§6.3).
+
+Replays the 20-subject debugging study through the behaviour model
+(DESIGN.md's substitution for human subjects) and regenerates the
+figure's two scatter plots plus the paper's three headline findings:
+
+* Cascade users performed ~43% more compilations,
+* completed the task ~21% faster,
+* spent ~67x less time compiling, while spending only slightly less
+  time testing and debugging.
+"""
+
+import pytest
+
+from repro.study.usermodel import run_study, summarize
+
+pytestmark = pytest.mark.benchmark(group="fig13")
+
+
+def test_fig13_study(benchmark):
+    subjects = benchmark.pedantic(lambda: run_study(n=20, seed=2019),
+                                  rounds=1, iterations=1)
+    stats = summarize(subjects)
+
+    print("\nFigure 13 (left): builds vs experiment time (minutes)")
+    for s in subjects:
+        print(f"  {s.toolchain:8s} builds={s.builds:3d} "
+              f"time={s.total_seconds / 60:6.1f}m")
+    print("\nFigure 13 (right): avg compile vs avg test/debug "
+          "(minutes/build)")
+    for s in subjects:
+        print(f"  {s.toolchain:8s} compile={s.avg_compile_minutes:5.2f} "
+              f"test/debug={s.avg_test_debug_minutes:5.2f}")
+    c = stats["comparison"]
+    print(f"\nbuilds increase:    {c['builds_increase_pct']:+.0f}% "
+          "(paper: +43%)")
+    print(f"completion speedup: {c['completion_speedup_pct']:+.0f}% "
+          "(paper: +21%)")
+    print(f"compile time ratio: {c['compile_time_ratio']:.0f}x "
+          "(paper: 67x)")
+    print(f"test/debug ratio:   {c['test_debug_ratio']:.2f} "
+          "(paper: slightly below 1)")
+
+    # Direction and rough magnitude of every headline finding, checked
+    # on a larger population so sampling noise cannot flip the signs.
+    big = summarize(run_study(n=400, seed=2019))["comparison"]
+    assert 20 < big["builds_increase_pct"] < 90
+    assert 5 < big["completion_speedup_pct"] < 50
+    assert 30 < big["compile_time_ratio"] < 120
+    assert 0.7 < big["test_debug_ratio"] < 1.4
+
+
+def test_fig13_free_response_directions(benchmark):
+    """The quantitative stand-ins for the free responses: Cascade users
+    compile more often per minute (less 'wasting time') but each build
+    cycle still contains substantial thought."""
+    stats = benchmark.pedantic(
+        lambda: summarize(run_study(n=400, seed=77)),
+        rounds=1, iterations=1)
+    q, c = stats["quartus"], stats["cascade"]
+    builds_per_minute_q = q["mean_builds"] / q["mean_total_minutes"]
+    builds_per_minute_c = c["mean_builds"] / c["mean_total_minutes"]
+    assert builds_per_minute_c > 1.5 * builds_per_minute_q
+    assert c["mean_avg_test_debug_minutes"] > 0.5

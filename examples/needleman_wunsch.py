@@ -1,0 +1,44 @@
+"""Needleman-Wunsch (paper §6.4): the UT class assignment.
+
+Aligns two DNA sequences four ways — sequential CPU, anti-diagonal
+parallel CPU, Cascade software engine, Cascade hardware engine — and
+compares scalability with problem size, the comparison the students
+were asked to make.  Run with::
+
+    python examples/needleman_wunsch.py
+"""
+
+from repro.apps.nw import (nw_program, nw_score, nw_score_antidiagonal,
+                           random_dna)
+from repro.backend.compiler import CompileService
+from repro.core.runtime import Runtime
+
+
+def run_on_cascade(a: str, b: str, jit: bool) -> int:
+    runtime = Runtime(compile_service=CompileService(
+        latency_scale=0.0), enable_jit=jit)
+    runtime.eval_source(nw_program(a, b))
+    runtime.run(iterations=16 * (len(a) + 2) * (len(b) + 2) + 2000,
+                until_finish=True)
+    line = runtime.output_lines[0]
+    return int(line.split()[-1]), runtime.user_engine_location()
+
+
+def main() -> None:
+    print(f"{'n':>4} {'cpu':>6} {'parallel(sweeps)':>18} "
+          f"{'cascade sw':>11} {'cascade hw':>11}")
+    for n in (8, 12, 16):
+        a, b = random_dna(n, seed=n), random_dna(n, seed=n + 100)
+        cpu = nw_score(a, b)
+        par, sweeps = nw_score_antidiagonal(a, b)
+        sw, sw_loc = run_on_cascade(a, b, jit=False)
+        hw, hw_loc = run_on_cascade(a, b, jit=True)
+        assert cpu == par == sw == hw
+        print(f"{n:4d} {cpu:6d} {par:10d} ({sweeps:3d}) "
+              f"{sw:8d} ({sw_loc[:2]}) {hw:8d} ({hw_loc[:2]})")
+    print("\nall four implementations agree; the parallel formulation "
+          "finishes in O(n) sweeps vs O(n^2) sequential cell updates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Streaming regex matching (paper §6.2): IO peripherals under the JIT.
+
+Compiles a regular expression to a DFA, emits a Verilog matcher fed one
+byte per cycle from the standard-library FIFO, streams a synthetic log
+through it, and cross-checks the hardware match count against the DFA
+executed in Python.  Run with::
+
+    python examples/regex_stream.py
+"""
+
+import random
+
+from repro.apps.regex import (reference_match_count, regex_program)
+from repro.backend.compiler import CompileService
+from repro.core.runtime import Runtime
+
+PATTERN = "GET (/[a-z0-9]*)+ HTTP"
+
+
+def main() -> None:
+    rng = random.Random(42)
+    chunks = []
+    for _ in range(300):
+        if rng.random() < 0.3:
+            path = "/".join("" for _ in range(rng.randint(1, 3)))
+            chunks.append(f"GET /{rng.choice(['a', 'api', 'x9'])} HTTP")
+        else:
+            chunks.append("".join(rng.choice("abcdef /:")
+                                  for _ in range(rng.randint(3, 12))))
+    data = " ".join(chunks).encode()
+    want = reference_match_count(PATTERN, data)
+    print(f"pattern: {PATTERN!r}")
+    print(f"stream:  {len(data)} bytes, "
+          f"{want} matches expected (Python DFA)")
+
+    runtime = Runtime(
+        compile_service=CompileService(latency_scale=0.0), echo=True)
+    text, dfa = regex_program(PATTERN)
+    print(f"DFA: {dfa.n_states} states over {dfa.n_classes} "
+          "byte classes")
+    runtime.eval_source(text)
+    runtime.run(iterations=64)
+    print(f"user logic location: {runtime.user_engine_location()}")
+
+    fifo = runtime.board.fifo("input_fifo")
+    fifo.attach_source(data, bytes_per_sec=555_000)
+    while not (fifo.source_exhausted and fifo.empty):
+        runtime.run(iterations=5_000)
+    runtime.run(iterations=2_000)
+
+    got = runtime.board.leds.value
+    print(f"\nmatch count (LEDs, low 8 bits): {got} "
+          f"== expected low byte {want & 0xFF}: {got == (want & 0xFF)}")
+    seconds = runtime.time_model.now_seconds
+    print(f"sustained IO rate: {fifo.popped / seconds / 1000:.0f} KIO/s "
+          "(paper: 492 KIO/s open-loop vs 560 native)")
+
+
+if __name__ == "__main__":
+    main()

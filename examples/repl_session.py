@@ -1,0 +1,53 @@
+"""A scripted REPL session (paper §3.1, Figure 3).
+
+Builds the running example one eval at a time, exactly the way a user
+types it at the CASCADE >>> prompt: declarations first, then state,
+then behaviour — each input integrated into the *running* program with
+IO side effects visible immediately.  Run with::
+
+    python examples/repl_session.py
+"""
+
+from repro.core.repl import Repl
+from repro.core.runtime import Runtime
+
+
+def main() -> None:
+    repl = Repl(Runtime(echo=True), run_between_inputs=32)
+    inputs = [
+        # A module declaration enters the outer scope.
+        """module Rol(
+             input wire [7:0] x,
+             output wire [7:0] y
+           );
+             assign y = (x == 8'h80) ? 1 : (x << 1);
+           endmodule""",
+        # Items are appended to the implicit root, already running.
+        "reg [7:0] cnt = 1;",
+        "Rol r(.x(cnt));",
+        """always @(posedge clk.val)
+             if (pad.val == 0)
+               cnt <= r.y;""",
+        # The moment this is eval'd, the LEDs start animating.
+        "assign led.val = cnt;",
+        # Unsynthesizable statements run once, immediately.
+        '$display("hello from the REPL, cnt=%0d", cnt);',
+    ]
+    for text in inputs:
+        print(f"CASCADE >>> {text.splitlines()[0].strip()}"
+              + (" ..." if len(text.splitlines()) > 1 else ""))
+        errors = repl.feed(text)
+        for error in errors:
+            print("error:", error)
+
+    print("\nprogram output:", repl.runtime.output_lines)
+    print("LED trace:", repl.runtime.board.led_trace()[:8])
+
+    # Append-only: code can be added to a running program, never
+    # edited or deleted (§7.2) — a redeclaration is an error.
+    errors = repl.feed("module Rol(input wire q); endmodule")
+    print("\nredeclaring Rol ->", errors[0].split(":")[-1].strip())
+
+
+if __name__ == "__main__":
+    main()

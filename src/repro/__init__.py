@@ -1,0 +1,26 @@
+"""A Python reproduction of Cascade: just-in-time compilation for
+Verilog (Schkufza, Wei, Rossbach - ASPLOS 2019).
+
+Public API
+----------
+The two entry points most users want:
+
+* :class:`repro.core.runtime.Runtime` -- the Cascade runtime: eval
+  Verilog into a running program, watch it JIT from a software engine
+  onto the simulated FPGA.
+* :class:`repro.interp.sim.Simulator` -- the standalone reference
+  simulator for plain Verilog testbenches (the iVerilog role).
+
+Everything else (frontend, IR, backend flow, standard library, study
+models) is importable from its subpackage; see DESIGN.md for the map.
+"""
+
+from .core.repl import Repl
+from .core.runtime import Runtime
+from .interp.sim import Simulator, simulate_source
+from .stdlib.board import VirtualBoard
+
+__version__ = "1.0.0"
+
+__all__ = ["Runtime", "Repl", "Simulator", "simulate_source",
+           "VirtualBoard", "__version__"]

@@ -1,0 +1,245 @@
+"""SHA-256 proof-of-work miner (paper §6.1).
+
+"A standard Verilog implementation of the SHA-256 proof of work
+consensus algorithm used in bitcoin mining.  The algorithm combines a
+block of data with a nonce, applies several rounds of SHA-256 hashing,
+and repeats until it finds a nonce which produces a hash less than a
+target value."
+
+The generator below emits an iterative (one round per cycle) SHA-256
+core plus a mining wrapper that scans nonces, reports golden nonces with
+``$display`` (unsynthesizable Verilog kept alive in hardware — the point
+of the benchmark), and raises ``found``.  Functional correctness is
+differentially tested against :mod:`hashlib` in the test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Optional
+
+__all__ = ["sha256_core_verilog", "pow_miner_verilog", "pow_program",
+           "reference_digest", "reference_golden_nonce", "MESSAGE_WORDS"]
+
+# SHA-256 round constants and initial hash values (FIPS 180-4).
+_K = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+    0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+    0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+]
+_H = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+]
+
+#: The message hashed is 13 big-endian words: 12 words of block data
+#: followed by the 32-bit nonce, SHA-padded to one 512-bit block.
+MESSAGE_WORDS = 12
+_MSG_BITS = 32 * (MESSAGE_WORDS + 1)  # data + nonce
+
+
+def sha256_core_verilog() -> str:
+    """The iterative SHA-256 core: one round per clock cycle."""
+    k_cases = "\n".join(
+        f"        7'd{i}: kconst = 32'h{k:08x};" for i, k in enumerate(_K))
+    digest_sum = ", ".join(
+        f"({reg} + 32'h{h:08x})"
+        for reg, h in zip("abcdefgh", _H))
+    init_regs = "\n".join(
+        f"      {reg} <= 32'h{h:08x};" for reg, h in zip("abcdefgh", _H))
+    return f"""
+module Sha256(
+  input wire clk,
+  input wire start,
+  input wire [{_MSG_BITS - 1}:0] message,
+  output reg busy = 0,
+  output reg done = 0,
+  output reg [255:0] digest = 0
+);
+  reg [31:0] w [0:15];
+  reg [31:0] a, b, c, d, e, f, g, h;
+  reg [6:0] t = 0;
+  integer i;
+
+  function [31:0] rotr;
+    input [31:0] x;
+    input [5:0] n;
+    rotr = (x >> n) | (x << (32 - n));
+  endfunction
+
+  function [31:0] kconst;
+    input [6:0] i;
+    begin
+      case (i)
+{k_cases}
+        default: kconst = 0;
+      endcase
+    end
+  endfunction
+
+  wire [31:0] s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+  wire [31:0] ch = (e & f) ^ (~e & g);
+  wire [31:0] temp1 = h + s1 + ch + kconst(t) + w[0];
+  wire [31:0] s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+  wire [31:0] maj = (a & b) ^ (a & c) ^ (b & c);
+  wire [31:0] temp2 = s0 + maj;
+  wire [31:0] wnext = w[0]
+      + (rotr(w[1], 7) ^ rotr(w[1], 18) ^ (w[1] >> 3))
+      + w[9]
+      + (rotr(w[14], 17) ^ rotr(w[14], 19) ^ (w[14] >> 10));
+
+  always @(posedge clk) begin
+    done <= 0;
+    if (start && !busy) begin
+      busy <= 1;
+      t <= 0;
+{init_regs}
+      for (i = 0; i < {MESSAGE_WORDS + 1}; i = i + 1)
+        w[i] <= message[{_MSG_BITS - 1} - (32 * i) -: 32];
+      w[{MESSAGE_WORDS + 1}] <= 32'h80000000;
+      w[14] <= 32'h0;
+      w[15] <= 32'd{_MSG_BITS};
+    end else if (busy) begin
+      if (t < 64) begin
+        h <= g;
+        g <= f;
+        f <= e;
+        e <= d + temp1;
+        d <= c;
+        c <= b;
+        b <= a;
+        a <= temp1 + temp2;
+        for (i = 0; i < 15; i = i + 1)
+          w[i] <= w[i + 1];
+        w[15] <= wnext;
+        t <= t + 1;
+      end else begin
+        digest <= {{{digest_sum}}};
+        busy <= 0;
+        done <= 1;
+      end
+    end
+  end
+endmodule
+"""
+
+
+def pow_miner_verilog(target_zeros: int = 16,
+                      data_words: Optional[List[int]] = None,
+                      max_nonce: int = 0, quiet: bool = False) -> str:
+    """The mining wrapper: scans nonces until the digest has
+    ``target_zeros`` leading zero bits; optionally $finishes after
+    ``max_nonce`` attempts."""
+    data_words = data_words or default_data_words()
+    assert len(data_words) == MESSAGE_WORDS
+    data_concat = ", ".join(f"32'h{w:08x}" for w in data_words)
+    display = "" if quiet else \
+        '        $display("nonce %d digest %h", nonce, dg);\n'
+    finish = ""
+    if max_nonce:
+        finish = (f"      if (nonce >= 32'd{max_nonce}) begin\n"
+                  f"        $display(\"max nonce reached\");\n"
+                  f"        $finish;\n      end\n")
+    return f"""
+module PowMiner(
+  input wire clk,
+  output reg found = 0,
+  output reg [31:0] golden_nonce = 0,
+  output reg [31:0] attempts = 0
+);
+  reg [31:0] nonce = 0;
+  reg start = 1;
+  wire busy;
+  wire done;
+  wire [255:0] dg;
+  Sha256 core(
+    .clk(clk),
+    .start(start),
+    .message({{{data_concat}, nonce}}),
+    .busy(busy),
+    .done(done),
+    .digest(dg)
+  );
+  always @(posedge clk) begin
+    if (start && busy)
+      start <= 0;
+    if (done) begin
+      attempts <= attempts + 1;
+      if (dg[255 -: {target_zeros}] == 0) begin
+        found <= 1;
+        golden_nonce <= nonce;
+{display}      end
+{finish}      nonce <= nonce + 1;
+      start <= 1;
+    end
+  end
+endmodule
+"""
+
+
+def pow_program(target_zeros: int = 16,
+                data_words: Optional[List[int]] = None,
+                max_nonce: int = 0, quiet: bool = False) -> str:
+    """Both modules plus root items instantiating the miner on the
+    global clock (for Runtime.eval_source)."""
+    return (sha256_core_verilog()
+            + pow_miner_verilog(target_zeros, data_words, max_nonce,
+                                quiet)
+            + """
+wire miner_found;
+wire [31:0] miner_nonce;
+wire [31:0] miner_attempts;
+PowMiner miner(
+  .clk(clk.val),
+  .found(miner_found),
+  .golden_nonce(miner_nonce),
+  .attempts(miner_attempts)
+);
+assign led.val = miner_nonce[7:0];
+""")
+
+
+def default_data_words() -> List[int]:
+    """A fixed, arbitrary 12-word block (deterministic benchmarks)."""
+    return [(0x01234567 * (i + 1)) & 0xFFFFFFFF
+            for i in range(MESSAGE_WORDS)]
+
+
+def _message_bytes(data_words: List[int], nonce: int) -> bytes:
+    return struct.pack(f">{MESSAGE_WORDS}I", *data_words) \
+        + struct.pack(">I", nonce)
+
+
+def reference_digest(nonce: int,
+                     data_words: Optional[List[int]] = None) -> bytes:
+    """hashlib ground truth for the digest the core should produce."""
+    data_words = data_words or default_data_words()
+    return hashlib.sha256(_message_bytes(data_words, nonce)).digest()
+
+
+def reference_golden_nonce(target_zeros: int,
+                           data_words: Optional[List[int]] = None,
+                           start: int = 0, limit: int = 1 << 20) -> int:
+    """The first nonce whose digest has ``target_zeros`` leading zero
+    bits (ground truth for the miner)."""
+    data_words = data_words or default_data_words()
+    for nonce in range(start, start + limit):
+        digest = hashlib.sha256(_message_bytes(data_words, nonce)).digest()
+        value = int.from_bytes(digest, "big")
+        if value >> (256 - target_zeros) == 0:
+            return nonce
+    raise ValueError("no golden nonce in range")

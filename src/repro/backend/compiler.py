@@ -1,0 +1,189 @@
+"""The blackbox compile service (our Quartus stand-in).
+
+Hardware engines "translate the Verilog source for a subprogram into
+code which can be compiled by a blackbox toolchain such as Quartus or
+Vivado" (§5.2), and that compilation is what the JIT hides: ten minutes
+for the paper's proof-of-work benchmark (§6.1).
+
+We model the toolchain with:
+
+* a **latency model** calibrated to the paper's observations — a fixed
+  front-end cost plus a power law in estimated LUTs (placement is the
+  NP-hard part and scales super-linearly; §1);
+* optional execution of the **real flow** (synth → techmap → place →
+  route → timing, :mod:`repro.backend.flow`) for small designs, which
+  provides exact area/Fmax numbers and can *fail timing closure* —
+  reproducing the §6.4 observation that programs correct in simulation
+  may still fail the later phases of JIT compilation.
+
+Compile durations are charged in *virtual* time so whole JIT timelines
+(Figures 11/12) replay deterministically in milliseconds of host time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.errors import SynthesisError
+from ..ir.build import Subprogram
+from ..verilog.elaborate import Design, elaborate_leaf
+from .estimate import estimate_resources, instrumentation_overhead
+from .pycompile import CompiledDesign, compile_design
+from .synthcheck import check_design
+
+__all__ = ["CompilerModel", "CompileJob", "CompileService"]
+
+
+class CompilerModel:
+    """Latency + area model for the blackbox toolchain.
+
+    Calibration anchors (paper §6): a ~50-line user-study program
+    compiles in ~1.5 minutes; the SHA-256 proof-of-work design takes
+    ~10 minutes; Cascade's instrumented bitstream is ~2.9x larger.
+    """
+
+    def __init__(self, base_s: float = 40.0, per_lut: float = 0.9,
+                 exponent: float = 0.8):
+        self.base_s = base_s
+        self.per_lut = per_lut
+        self.exponent = exponent
+
+    def duration_s(self, luts: int) -> float:
+        return self.base_s + self.per_lut * (max(luts, 1) ** self.exponent)
+
+
+class CompileJob:
+    """One background compilation."""
+
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+
+    def __init__(self, subprogram: Subprogram, design: Design,
+                 submitted_s: float, duration_s: float,
+                 compiled: Optional[CompiledDesign],
+                 resources: Dict[str, int], error: Optional[str] = None):
+        self.subprogram = subprogram
+        self.design = design
+        self.submitted_s = submitted_s
+        self.duration_s = duration_s
+        self.compiled = compiled
+        self.resources = resources
+        self.error = error
+        self.delivered = False
+
+    @property
+    def ready_at_s(self) -> float:
+        return self.submitted_s + self.duration_s
+
+    def state(self, now_s: float) -> str:
+        if self.error is not None:
+            return self.FAILED
+        return self.DONE if now_s >= self.ready_at_s else self.PENDING
+
+    def __repr__(self) -> str:
+        return (f"CompileJob({self.subprogram.name}, "
+                f"ready_at={self.ready_at_s:.1f}s)")
+
+
+class CompileService:
+    """Submits subprogram compilations and reports completions against
+    the runtime's virtual clock.
+
+    ``latency_scale`` scales modeled durations (0 = compilation is
+    instantaneous, useful in tests).
+    """
+
+    def __init__(self, model: Optional[CompilerModel] = None,
+                 latency_scale: float = 1.0,
+                 full_flow_max_luts: int = 0):
+        self.model = model or CompilerModel()
+        self.latency_scale = latency_scale
+        #: When positive, designs whose estimated LUT count is at or
+        #: below this run the *real* synth/place/route/timing flow —
+        #: exact area and genuine closure failures (§6.4) — instead of
+        #: the calibrated estimator.
+        self.full_flow_max_luts = full_flow_max_luts
+        self.jobs: List[CompileJob] = []
+        self.compiles_attempted = 0
+        self.compiles_failed = 0
+
+    # ------------------------------------------------------------------
+    def estimate(self, design: Design,
+                 instrumented: bool = True) -> Dict[str, int]:
+        base = estimate_resources(design)
+        if instrumented:
+            extra = instrumentation_overhead(design)
+            return {k: base.get(k, 0) + extra.get(k, 0) for k in
+                    set(base) | set(extra)}
+        return base
+
+    def submit(self, subprogram: Subprogram, now_s: float,
+               design: Optional[Design] = None) -> CompileJob:
+        """Begin a background compilation of a subprogram.
+
+        Raises :class:`SynthesisError` immediately when the subprogram
+        is not synthesizable at all (those stay in software forever).
+        """
+        self.compiles_attempted += 1
+        if design is None:
+            design = elaborate_leaf(subprogram.module_ast)
+        violations = check_design(design)
+        if violations:
+            raise SynthesisError(
+                f"subprogram {subprogram.name!r} is unsynthesizable: "
+                + "; ".join(sorted(set(violations))))
+        resources = self.estimate(design, instrumented=True)
+        try:
+            compiled = compile_design(design)
+            error = None
+        except Exception as exc:  # compilation itself failed
+            compiled = None
+            error = str(exc)
+            self.compiles_failed += 1
+        if compiled is not None and self.full_flow_max_luts and \
+                resources["luts"] <= self.full_flow_max_luts:
+            try:
+                from .flow import run_flow
+                report = run_flow(design)
+                overhead = resources["luts"] - \
+                    estimate_resources(design)["luts"]
+                resources = dict(resources)
+                resources["luts"] = report.luts + max(overhead, 0)
+                resources["fmax_mhz"] = report.fmax_mhz
+                if not report.success:
+                    compiled = None
+                    error = ("design failed "
+                             + ("routing" if not report.routing.routed
+                                else "timing") + " closure")
+                    self.compiles_failed += 1
+            except SynthesisError:
+                pass  # outside the gate-level subset: keep the estimate
+        duration = self.model.duration_s(resources["luts"]) \
+            * self.latency_scale
+        job = CompileJob(subprogram, design, now_s, duration, compiled,
+                         resources, error)
+        self.jobs.append(job)
+        return job
+
+    def cancel_all(self) -> None:
+        """Abandon in-flight jobs (the program changed under them)."""
+        self.jobs = [j for j in self.jobs if j.delivered]
+
+    def completed(self, now_s: float) -> List[CompileJob]:
+        """Jobs that have finished since the last poll."""
+        out = []
+        for job in self.jobs:
+            if job.delivered:
+                continue
+            state = job.state(now_s)
+            if state == CompileJob.DONE:
+                job.delivered = True
+                out.append(job)
+            elif state == CompileJob.FAILED:
+                job.delivered = True
+        return out
+
+    def pending(self, now_s: float) -> List[CompileJob]:
+        return [j for j in self.jobs
+                if not j.delivered and j.state(now_s) == CompileJob.PENDING]

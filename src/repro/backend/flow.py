@@ -1,0 +1,81 @@
+"""The full compilation flow: synth -> place -> route -> timing.
+
+This is the real (slow, NP-hard) path our Quartus stand-in can take for
+designs small enough to place and route in Python; the compile service
+uses it for exact area/Fmax numbers and failure detection, and the
+calibrated estimator for everything larger.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..verilog.elaborate import Design
+from .fabric import Device, device_for
+from .netlist import Netlist
+from .place import Placement, place
+from .route import RoutingResult, route
+from .synth import synthesize
+from .timing import TimingReport, analyze_timing
+
+__all__ = ["FlowReport", "run_flow"]
+
+
+class FlowReport:
+    """Everything the flow learned about a design."""
+
+    def __init__(self, design: Design, netlist: Netlist,
+                 placement: Placement, routing: RoutingResult,
+                 timing: TimingReport, device: Device,
+                 wall_seconds: float):
+        self.design = design
+        self.netlist = netlist
+        self.placement = placement
+        self.routing = routing
+        self.timing = timing
+        self.device = device
+        self.wall_seconds = wall_seconds
+
+    @property
+    def luts(self) -> int:
+        return self.netlist.count("LUT")
+
+    @property
+    def ffs(self) -> int:
+        return self.netlist.count("FF")
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.timing.fmax_mhz
+
+    @property
+    def success(self) -> bool:
+        return self.routing.routed and self.timing.meets_timing
+
+    def summary(self) -> str:
+        return (f"{self.design.name}: {self.luts} LUTs, {self.ffs} FFs, "
+                f"Fmax {self.fmax_mhz:.1f} MHz on {self.device.name} "
+                f"({'OK' if self.success else 'FAILED'})")
+
+
+def run_flow(design: Design, device: Optional[Device] = None,
+             seed: int = 1, effort: float = 1.0) -> FlowReport:
+    """Run the complete flow on a design.
+
+    Raises SynthesisError for constructs outside the gate-level subset;
+    routing overflow and timing failure are *reported*, not raised, so
+    callers can inspect partial results (use ``report.timing.check()``
+    to enforce closure).
+    """
+    start = time.perf_counter()
+    netlist = synthesize(design)
+    if device is None:
+        cells = netlist.count("LUT") + netlist.count("FF")
+        device = device_for(max(cells, 16))
+    placement = place(netlist, device, seed=seed, effort=effort)
+    routing = route(netlist, placement, device)
+    timing = analyze_timing(netlist, placement, device)
+    wall = time.perf_counter() - start
+    return FlowReport(design, netlist, placement, routing, timing,
+                      device, wall)

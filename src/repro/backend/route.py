@@ -1,0 +1,111 @@
+"""Global routing over the fabric's channel grid.
+
+Each placed net is routed as an L-shaped path through horizontal and
+vertical channel segments of bounded capacity.  Congested segments are
+penalised and overflowing nets re-routed (a light negotiated-congestion
+loop); persistent overflow raises :class:`RoutingError`, which — like
+timing failure — is one of the "later phases of JIT compilation" that
+functionally-correct programs can still fail (§6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..common.errors import RoutingError
+from .fabric import Device
+from .netlist import Netlist
+from .place import Placement
+
+__all__ = ["RoutingResult", "route"]
+
+Coord = Tuple[int, int]
+Segment = Tuple[str, int, int]   # ("h"|"v", x, y)
+
+
+class RoutingResult:
+    def __init__(self, wirelength: int, max_congestion: int,
+                 overflow_segments: int, iterations: int):
+        self.wirelength = wirelength
+        self.max_congestion = max_congestion
+        self.overflow_segments = overflow_segments
+        self.iterations = iterations
+
+    @property
+    def routed(self) -> bool:
+        return self.overflow_segments == 0
+
+
+def _segments(a: Coord, b: Coord, bend_first_x: bool) -> List[Segment]:
+    """The channel segments of an L path from a to b."""
+    (ax, ay), (bx, by) = a, b
+    segs: List[Segment] = []
+    if bend_first_x:
+        x0, x1 = sorted((ax, bx))
+        for x in range(x0, x1):
+            segs.append(("h", x, ay))
+        y0, y1 = sorted((ay, by))
+        for y in range(y0, y1):
+            segs.append(("v", bx, y))
+    else:
+        y0, y1 = sorted((ay, by))
+        for y in range(y0, y1):
+            segs.append(("v", ax, y))
+        x0, x1 = sorted((ax, bx))
+        for x in range(x0, x1):
+            segs.append(("h", x, by))
+    return segs
+
+
+def route(netlist: Netlist, placement: Placement, device: Device,
+          max_iterations: int = 4) -> RoutingResult:
+    """Route all nets; returns congestion statistics."""
+    # Two-pin connections: driver -> each sink.
+    pins: List[Tuple[Coord, Coord]] = []
+    table = netlist.nets()
+    for name, net in table.items():
+        if name not in placement.locations:
+            continue
+        cell = netlist.cells[name]
+        if cell.kind == "CONST":
+            continue  # constants are implemented in-LUT
+        src = placement.locations[name]
+        for sink in net.sinks:
+            if sink.startswith("out:"):
+                continue
+            dst = placement.locations.get(sink)
+            if dst is None or dst == src:
+                continue
+            pins.append((src, dst))
+
+    usage: Dict[Segment, int] = {}
+    history: Dict[Segment, int] = {}
+    choices: List[bool] = [True] * len(pins)
+
+    def seg_cost(seg: Segment) -> float:
+        over = max(0, usage.get(seg, 0) + 1 - device.channel_capacity)
+        return 1.0 + 4.0 * over + 0.5 * history.get(seg, 0)
+
+    iterations = 0
+    for iteration in range(max_iterations):
+        iterations = iteration + 1
+        usage.clear()
+        for i, (src, dst) in enumerate(pins):
+            cost_x = sum(seg_cost(s) for s in _segments(src, dst, True))
+            cost_y = sum(seg_cost(s) for s in _segments(src, dst, False))
+            choices[i] = cost_x <= cost_y
+            for seg in _segments(src, dst, choices[i]):
+                usage[seg] = usage.get(seg, 0) + 1
+        overflow = [s for s, u in usage.items()
+                    if u > device.channel_capacity]
+        for seg in overflow:
+            history[seg] = history.get(seg, 0) + 1
+        if not overflow:
+            break
+
+    wirelength = sum(usage.values())
+    max_congestion = max(usage.values(), default=0)
+    overflow_segments = sum(
+        1 for u in usage.values() if u > device.channel_capacity)
+    return RoutingResult(wirelength, max_congestion, overflow_segments,
+                         iterations)

@@ -1,0 +1,75 @@
+"""Synthesizability analysis for subprogram designs.
+
+Cascade distinguishes three tiers (§2.3, §3.5):
+
+* the synthesizable core, lowered onto fabric as-is;
+* ``$display``/``$write``/``$finish``, *kept alive in hardware* via the
+  Figure 10 task-mask instrumentation — this is the paper's
+  "expressiveness" goal;
+* everything else unsynthesizable (procedural delays, event statements
+  inside bodies, ``initial`` processes, ``$monitor``, ``$readmem*``,
+  ``$random``, ``$time``), which pins a subprogram to its software
+  engine forever.
+
+:func:`check_design` returns the list of violations that prevent a
+design from migrating to a hardware engine (empty = eligible), plus a
+separate list for *native mode* (§4.5), which additionally rejects the
+system tasks hardware engines would otherwise instrument.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..verilog import ast
+from ..verilog.elaborate import Design
+from ..verilog.visitor import walk
+
+__all__ = ["check_design", "check_native", "HW_OK_TASKS"]
+
+HW_OK_TASKS = frozenset(["$display", "$write", "$finish", "$stop"])
+_HW_OK_FUNCS = frozenset(["$signed", "$unsigned", "$clog2", "$bits"])
+
+
+def _violations(design: Design, allow_tasks: bool) -> List[str]:
+    out: List[str] = []
+    if design.initials:
+        out.append("initial blocks are unsynthesizable")
+    roots: List[ast.Node] = list(design.assigns) + list(design.always)
+    for block in design.always:
+        if block.ctrl is None:
+            out.append("always blocks without event control are "
+                       "unsynthesizable")
+    for root in roots:
+        for node in walk(root):
+            if isinstance(node, ast.DelayStmt):
+                out.append("procedural delays (#n) are unsynthesizable")
+            elif isinstance(node, ast.EventStmt):
+                out.append("in-body event controls are unsynthesizable")
+            elif isinstance(node, (ast.While, ast.Forever)):
+                out.append(f"{type(node).__name__.lower()} loops are "
+                           "unsynthesizable")
+            elif isinstance(node, ast.SysTask):
+                if node.name in HW_OK_TASKS:
+                    if not allow_tasks:
+                        out.append(
+                            f"{node.name} requires runtime support "
+                            "(not available in native mode)")
+                else:
+                    out.append(f"{node.name} is unsynthesizable")
+            elif isinstance(node, ast.Call) and node.name.startswith("$"):
+                if node.name not in _HW_OK_FUNCS:
+                    out.append(f"{node.name} is unsynthesizable")
+    return out
+
+
+def check_design(design: Design) -> List[str]:
+    """Violations preventing migration to a hardware engine."""
+    return _violations(design, allow_tasks=True)
+
+
+def check_native(design: Design) -> List[str]:
+    """Violations preventing native-mode compilation (§4.5): the
+    program must be compiled 'exactly as written' by the off-the-shelf
+    toolchain, so even $display/$finish are rejected."""
+    return _violations(design, allow_tasks=False)

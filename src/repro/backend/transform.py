@@ -1,0 +1,168 @@
+"""The Figure 10 source-to-source transformation, as Verilog text.
+
+Hardware engines "translate the Verilog source for a subprogram into
+code which can be compiled by a blackbox toolchain" (§5.2).  Our
+simulated toolchain executes the compiled Python model instead, but
+this module emits the *actual instrumented Verilog* of Figure 10 — the
+AXI-style memory-mapped port list, the ``_vars``/``_nvars`` storage
+arrays, update and task masks, and the open-loop controller — so the
+artifact a real Quartus would consume is inspectable, parseable by our
+own frontend, and is what the spatial-overhead accounting is modeled
+on.
+
+The transformation assigns one 32-bit address per: input, stateful
+element word, and display argument, exactly as described in §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..verilog import ast
+from ..verilog.elaborate import Design
+from ..verilog.printer import stmt_to_str
+from ..verilog.visitor import find_all
+
+__all__ = ["AddressMap", "transform_to_axi"]
+
+
+class AddressMap:
+    """The engine's MMIO address space: name -> word address."""
+
+    def __init__(self):
+        self.slots: List[Tuple[str, str]] = []   # (name, kind)
+
+    def add(self, name: str, kind: str) -> int:
+        self.slots.append((name, kind))
+        return len(self.slots) - 1
+
+    def address_of(self, name: str) -> int:
+        for i, (slot, _) in enumerate(self.slots):
+            if slot == name:
+                return i
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+def transform_to_axi(design: Design,
+                     module_name: str = "Main") -> Tuple[str, AddressMap]:
+    """Emit the instrumented Verilog for a subprogram design.
+
+    Returns (verilog_text, address_map).  The text parses with this
+    package's own frontend (tested), contains the distinguished
+    control addresses <LATCH>/<CLEAR>/<OLOOP> as localparams, and
+    follows the variable naming of Figure 10.
+    """
+    amap = AddressMap()
+    inputs = [v for v in design.vars.values() if v.direction == "input"]
+    state = [v for v in design.vars.values()
+             if v.kind == "reg" and not v.is_array
+             and v.direction != "input"]
+    for var in inputs:
+        amap.add(var.name, "input")
+    for var in state:
+        amap.add(var.name, "state")
+
+    # Display-statement argument capture slots and the task mask.
+    tasks = []
+    for block in design.always:
+        tasks.extend(t for t in find_all(block, ast.SysTask)
+                     if t.name in ("$display", "$write", "$finish",
+                                   "$stop"))
+    n_disp_args = 0
+    for i, task in enumerate(tasks):
+        for j, arg in enumerate(task.args):
+            if not isinstance(arg, ast.StringLit):
+                amap.add(f"_task{i}_arg{j}", "task_arg")
+                n_disp_args += 1
+    n_tasks = max(len(tasks), 1)
+    n_vars = max(len(amap), 1)
+
+    lines: List[str] = []
+    emit = lines.append
+    emit(f"module {module_name}(")
+    emit("  input wire CLK,")
+    emit("  input wire RW,")
+    emit("  input wire [31:0] ADDR,")
+    emit("  input wire [31:0] IN,")
+    emit("  output reg [31:0] OUT,")
+    emit("  output wire WAIT")
+    emit(");")
+    emit("  // Distinguished control addresses (the <LATCH>, <CLEAR>,")
+    emit("  // <OLOOP> and <SET i> write decodes of Figure 10).")
+    emit(f"  localparam A_LATCH = 32'd{n_vars};")
+    emit(f"  localparam A_CLEAR = 32'd{n_vars + 1};")
+    emit(f"  localparam A_OLOOP = 32'd{n_vars + 2};")
+    emit("")
+    emit(f"  reg [31:0] _vars [0:{n_vars - 1}];")
+    emit(f"  reg [31:0] _nvars [0:{n_vars - 1}];")
+    emit("  reg _umask = 0, _numask = 0;")
+    emit(f"  reg [{n_tasks - 1}:0] _tmask = 0, _ntmask = 0;")
+    emit("  reg [31:0] _oloop = 0, _itrs = 0;")
+    emit("")
+    emit("  // Mappings between engine storage and source names.")
+    for var in inputs:
+        addr = amap.address_of(var.name)
+        rng = f"[{var.width - 1}:0] " if var.width > 1 else ""
+        emit(f"  wire {rng}{_flat(var.name)} = "
+             f"_vars[{addr}][{var.width - 1}:0];"
+             if var.width <= 32 else
+             f"  wire {rng}{_flat(var.name)} = _vars[{addr}];")
+    for var in state:
+        addr = amap.address_of(var.name)
+        rng = f"[{var.width - 1}:0] " if var.width > 1 else ""
+        emit(f"  wire {rng}{_flat(var.name)} = "
+             f"_vars[{addr}][{min(var.width, 32) - 1}:0];")
+    emit("")
+    emit("  // Control plumbing (Figure 10 lines 28-33).")
+    emit("  wire _updates = _umask ^ _numask;")
+    emit("  wire _write_latch = (RW && ADDR == A_LATCH);")
+    emit("  wire _latch = _write_latch || ((_updates != 0) && "
+         "(_oloop != 0));")
+    emit("  wire _tasks = (_tmask ^ _ntmask) != 0;")
+    emit("  wire _clear = (RW && ADDR == A_CLEAR);")
+    emit("  wire _otick = (_oloop != 0) && !_tasks;")
+    emit("  assign WAIT = (_oloop != 0);")
+    emit("")
+    emit("  // Original behaviour, update targets redirected to shadow")
+    emit("  // variables and system tasks to the task mask.")
+    for i, block in enumerate(design.always):
+        emit(f"  // always block {i} (instrumented)")
+    emit("  always @(posedge CLK) begin")
+    emit("    _umask <= _latch ? _numask : _umask;")
+    emit("    _tmask <= _clear ? _ntmask : _tmask;")
+    emit("    _oloop <= (RW && ADDR == A_OLOOP) ? IN :")
+    emit("              _otick ? (_oloop - 1) :")
+    emit("              _tasks ? 0 : _oloop;")
+    emit("    _itrs <= (RW && ADDR == A_OLOOP) ? 0 :")
+    emit("             _otick ? (_itrs + 1) : _itrs;")
+    if inputs:
+        clk_like = inputs[0]
+        addr = amap.address_of(clk_like.name)
+        emit(f"    _vars[{addr}] <= _otick ? (_vars[{addr}] + 1) :")
+        emit(f"                (RW && ADDR == {addr}) ? IN : "
+             f"_vars[{addr}];")
+        for var in inputs[1:]:
+            a = amap.address_of(var.name)
+            emit(f"    _vars[{a}] <= (RW && ADDR == {a}) ? IN : "
+                 f"_vars[{a}];")
+    for var in state:
+        a = amap.address_of(var.name)
+        emit(f"    _vars[{a}] <= (RW && ADDR == {a}) ? IN :")
+        emit(f"                _latch ? _nvars[{a}] : _vars[{a}];")
+    emit("  end")
+    emit("")
+    emit("  // Readback bus (Figure 10 lines 49-53).")
+    emit("  always @(*)")
+    emit("    if (ADDR < A_LATCH)")
+    emit("      OUT = _vars[ADDR[7:0]];")
+    emit("    else")
+    emit("      OUT = {31'd0, _updates};")
+    emit("endmodule")
+    return "\n".join(lines) + "\n", amap
+
+
+def _flat(name: str) -> str:
+    return name.replace(".", "_")

@@ -1,0 +1,111 @@
+"""The data/control plane (§3.3–3.4).
+
+Subprograms communicate exclusively through named nets; the plane owns
+the net values and routes output changes from driver engines to reader
+engines.  It also charges the performance model for every message that
+crosses the software/hardware boundary — the communication cost that
+inlining (§4.2), ABI forwarding (§4.3) and open-loop scheduling (§4.4)
+each remove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..common.bits import Bits
+from ..ir.build import IRProgram
+from ..perf.timemodel import TimeModel
+from .abi import HARDWARE, Engine
+
+__all__ = ["DataPlane"]
+
+
+class DataPlane:
+    """Routes value changes between engines over the IR's nets."""
+
+    def __init__(self, program: IRProgram, time_model: TimeModel):
+        self.program = program
+        self.time_model = time_model
+        self.values: Dict[str, Bits] = {
+            name: Bits.xes(net.width) for name, net in program.nets.items()}
+        # net -> [(subprogram name, port)]
+        self.readers: Dict[str, List[Tuple[str, str]]] = {}
+        self.driver_port: Dict[str, Tuple[str, str]] = {}
+        self.rebuild_routes()
+        self.messages_sent = 0
+
+    def rebuild_routes(self) -> None:
+        self.readers = {name: [] for name in self.program.nets}
+        self.driver_port = {}
+        for sub in self.program.subprograms.values():
+            for port, (net, direction) in sub.bindings.items():
+                if direction == "in":
+                    self.readers.setdefault(net, []).append(
+                        (sub.name, port))
+                else:
+                    self.driver_port[net] = (sub.name, port)
+
+    # ------------------------------------------------------------------
+    def _charge(self, engine: Engine) -> None:
+        self.messages_sent += 1
+        if engine.location == HARDWARE:
+            self.time_model.charge_mmio()
+        else:
+            self.time_model.charge_sw_events(0)  # heap-local, ~free
+
+    def propagate(self, engines: Dict[str, Engine],
+                  absorbed: Optional[Set[str]] = None) -> bool:
+        """Drain output changes from every engine and deliver them to
+        readers.  ``absorbed`` names subprograms currently handled by
+        ABI forwarding — the plane neither polls nor delivers to them.
+        Returns True when any message was delivered."""
+        absorbed = absorbed or set()
+        delivered = False
+        for name, engine in engines.items():
+            if name in absorbed:
+                continue
+            changed = engine.drain_output_changes()
+            if not changed:
+                continue
+            sub = self.program.subprograms[name]
+            for port in changed:
+                binding = sub.bindings.get(port)
+                if binding is None:
+                    continue
+                net, direction = binding
+                if direction != "out":
+                    continue
+                value = engine.read(port)
+                self._charge(engine)
+                old = self.values.get(net)
+                if old is not None and old.aval == value.aval \
+                        and old.bval == value.bval:
+                    continue
+                self.values[net] = value
+                for reader_name, reader_port in self.readers.get(net, ()):
+                    if reader_name in absorbed:
+                        continue
+                    reader = engines.get(reader_name)
+                    if reader is None:
+                        continue
+                    self._charge(reader)
+                    reader.write(reader_port, value)
+                    delivered = True
+        return delivered
+
+    def read_net(self, net: str) -> Bits:
+        return self.values[net]
+
+    def write_net(self, net: str, value: Bits,
+                  engines: Dict[str, Engine],
+                  absorbed: Optional[Set[str]] = None) -> None:
+        """Force a net to a value (used when re-seeding rebuilt
+        engines)."""
+        absorbed = absorbed or set()
+        self.values[net] = value
+        for reader_name, reader_port in self.readers.get(net, ()):
+            if reader_name in absorbed:
+                continue
+            reader = engines.get(reader_name)
+            if reader is not None:
+                reader.write(reader_port, value)

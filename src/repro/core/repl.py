@@ -1,0 +1,143 @@
+"""The Cascade REPL (paper §3.1, Figure 3).
+
+Verilog is lexed, parsed and type-checked one input at a time; errors
+are reported without disturbing the running program.  Module
+declarations enter the outer scope, items are appended to the implicit
+root module, and code begins executing — with visible IO side effects —
+as soon as it is instantiated.  Per §7.2 the interface is append-only:
+code can be added to a running program, never edited or deleted.
+
+Also supports batch mode (``feed_file``), which processes a source file
+through exactly the same path.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from ..common.errors import CascadeError
+from .runtime import Runtime
+
+__all__ = ["Repl", "main"]
+
+_BANNER = """\
+Cascade REPL (Python reproduction).  Implicit components: clk, rst, pad, led.
+Enter Verilog items or statements; end multi-line input with a blank line.
+Commands: :run N (iterations), :time, :where, :quit
+"""
+
+
+class Repl:
+    """Line-oriented controller/view around a Runtime."""
+
+    def __init__(self, runtime: Optional[Runtime] = None,
+                 run_between_inputs: int = 64):
+        self.runtime = runtime or Runtime(echo=True)
+        self.run_between_inputs = run_between_inputs
+
+    # ------------------------------------------------------------------
+    def feed(self, text: str) -> List[str]:
+        """Eval one chunk of input; returns any error messages."""
+        errors: List[str] = []
+        stripped = text.strip()
+        if not stripped:
+            return errors
+        try:
+            self.runtime.eval_source(text)
+        except CascadeError as item_error:
+            # Not a valid item list; try a bare statement (eg $display).
+            try:
+                self.runtime.eval_statement(stripped)
+            except CascadeError:
+                errors.append(str(item_error))
+                return errors
+        self.runtime.run(iterations=self.run_between_inputs)
+        return errors
+
+    def feed_file(self, path: str) -> List[str]:
+        """Batch mode: process a whole file (the process is the same)."""
+        with open(path, "r", encoding="utf-8") as f:
+            return self.feed(f.read())
+
+    # ------------------------------------------------------------------
+    def command(self, line: str) -> Optional[str]:
+        """Handle a :command; returns output text or None to quit."""
+        parts = line.split()
+        name = parts[0]
+        if name == ":quit":
+            return None
+        if name == ":run":
+            count = int(parts[1]) if len(parts) > 1 else 1000
+            self.runtime.run(iterations=count)
+            return f"ran {count} iterations"
+        if name == ":time":
+            return (f"virtual time {self.runtime.time_model.now_seconds:.6f}s, "
+                    f"{self.runtime.virtual_clock_ticks} clock ticks")
+        if name == ":where":
+            return ", ".join(f"{k}:{v}" for k, v in
+                             self.runtime.engine_locations().items())
+        return f"unknown command {name!r}"
+
+    def interact(self, stdin=None, stdout=None) -> None:
+        """The interactive loop (blank line submits multi-line input)."""
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        stdout.write(_BANNER)
+        buffer: List[str] = []
+        shown = 0
+        while True:
+            prompt = "....... " if buffer else "CASCADE >>> "
+            stdout.write(prompt)
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            line = line.rstrip("\n")
+            if line.startswith(":") and not buffer:
+                out = self.command(line)
+                if out is None:
+                    break
+                stdout.write(out + "\n")
+                continue
+            if line.strip():
+                buffer.append(line)
+                # Heuristic: single-line inputs ending in ';' that do not
+                # open a module/block are complete.
+                text = "\n".join(buffer)
+                if self._complete(text):
+                    pass
+                else:
+                    continue
+            elif not buffer:
+                continue
+            text = "\n".join(buffer)
+            buffer = []
+            for error in self.feed(text):
+                stdout.write(f"error: {error}\n")
+            for out_line in self.runtime.output_lines[shown:]:
+                stdout.write(out_line + "\n")
+            shown = len(self.runtime.output_lines)
+
+    @staticmethod
+    def _complete(text: str) -> bool:
+        """A quick completeness check for single-submission inputs."""
+        opens = sum(text.count(k) for k in ("module", "begin", "case",
+                                            "casez", "casex", "function"))
+        closes = sum(text.count(k) for k in ("endmodule", "end", "endcase",
+                                             "endfunction"))
+        return text.rstrip().endswith(";") and opens == 0 and closes == 0
+
+
+def main() -> int:
+    """Entry point for the ``cascade-repl`` console script."""
+    repl = Repl()
+    try:
+        repl.interact()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

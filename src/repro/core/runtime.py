@@ -1,0 +1,577 @@
+"""The Cascade runtime (paper §3.4, Figures 5, 6 and 9).
+
+One :class:`Runtime` owns:
+
+* the user's program — a library of module declarations plus the
+  implicit root module that REPL/batch input appends items to;
+* the IR (:mod:`repro.ir.build`) and one engine per subprogram;
+* the data/control plane, the ordered interrupt queue, and the
+  Figure 6 scheduler;
+* the JIT machinery: background compilations via the
+  :class:`~repro.backend.compiler.CompileService`, software-to-hardware
+  engine replacement with state transfer, ABI forwarding and open-loop
+  scheduling.
+
+Program changes are only applied between time steps, when the event
+queue is empty and the system is in an observable state — the window in
+which eval'ing new code cannot produce undefined behaviour (§3.4).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..backend.compiler import CompileService
+from ..backend.hardware import HardwareEngine
+from ..common.bits import Bits
+from ..common.errors import CascadeError, SynthesisError
+from ..interp.engine import read_set_of
+from ..ir.build import IRProgram, Subprogram, build_ir
+from ..perf.timemodel import PerfTrace, TimeModel
+from ..stdlib.board import VirtualBoard
+from ..stdlib.components import (IMPLICIT_INSTANCES, STDLIB_MODULE_NAMES,
+                                 stdlib_modules)
+from ..stdlib.engines import ClockEngine, StdlibEngine, make_stdlib_engine
+from ..verilog import ast
+from ..verilog.elaborate import ModuleLibrary, elaborate_leaf
+from ..verilog.parser import parse_source, parse_statement_text
+from .abi import HARDWARE, SOFTWARE, Engine
+from .engines import SoftwareEngineAdapter
+from .interrupts import Interrupt, InterruptQueue
+from .plane import DataPlane
+
+__all__ = ["Runtime", "View"]
+
+_OLOOP_MIN = 256
+_OLOOP_REAL_CAP = 200_000   # max ticks actually executed per batch
+
+
+class View:
+    """Collects program output (the REPL's view component)."""
+
+    def __init__(self, echo: bool = False):
+        self.echo = echo
+        self.lines: List[str] = []
+        self._partial = ""
+
+    def display(self, text: str, newline: bool = True) -> None:
+        if newline:
+            self.lines.append(self._partial + text)
+            self._partial = ""
+            if self.echo:
+                print(self.lines[-1])
+        else:
+            self._partial += text
+
+    def flush(self) -> None:
+        if self._partial:
+            self.lines.append(self._partial)
+            self._partial = ""
+
+    def info(self, text: str) -> None:
+        if self.echo:
+            print(text)
+
+
+class Runtime:
+    """The Cascade runtime: scheduler, JIT controller and data plane."""
+
+    def __init__(self,
+                 board: Optional[VirtualBoard] = None,
+                 time_model: Optional[TimeModel] = None,
+                 compile_service: Optional[CompileService] = None,
+                 inline_user_logic: bool = True,
+                 enable_jit: bool = True,
+                 enable_forwarding: bool = True,
+                 enable_open_loop: bool = True,
+                 implicit_stdlib: bool = True,
+                 echo: bool = False):
+        self.board = board or VirtualBoard()
+        self.time_model = time_model or TimeModel()
+        self.compiler = compile_service or CompileService()
+        self.inline_user_logic = inline_user_logic
+        self.enable_jit = enable_jit
+        self.enable_forwarding = enable_forwarding
+        self.enable_open_loop = enable_open_loop
+        self.view = View(echo)
+        self.perf = PerfTrace()
+        self.interrupts = InterruptQueue()
+
+        self.library = ModuleLibrary(stdlib_modules())
+        self.root_items: List[ast.Item] = []
+        if implicit_stdlib:
+            self._instantiate_implicit_stdlib()
+
+        self.program: Optional[IRProgram] = None
+        self.engines: Dict[str, Engine] = {}
+        self.absorbed: Set[str] = set()
+        self.plane: Optional[DataPlane] = None
+        self.finished: Optional[int] = None
+        self.iterations = 0           # scheduler iterations dispatched
+        self.generation = 0           # bumped on every program change
+        self._needs_rebuild = True
+        self._had_transients = False
+        self._oloop_limit = _OLOOP_MIN
+        self._oloop_exec_cap = _OLOOP_REAL_CAP
+        self._open_loop_active = False
+        self._job_generation: Dict[int, int] = {}
+        self.hw_migrations = 0
+        self.unsynthesizable: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+    def _instantiate_implicit_stdlib(self) -> None:
+        widths = {"pad": self.board.pad.width, "led": self.board.leds.width}
+        for inst_name, module_name, _ in IMPLICIT_INSTANCES:
+            overrides: List[ast.Connection] = []
+            if inst_name in widths:
+                count = widths[inst_name]
+                overrides = [ast.Connection(None, ast.Number(
+                    Bits.from_int(count, 32, True), str(count), False))]
+            self.root_items.append(ast.Instantiation(
+                module_name, inst_name, overrides, []))
+
+    # ------------------------------------------------------------------
+    # User input (controller side of the REPL)
+    # ------------------------------------------------------------------
+    def eval_source(self, text: str, source_name: str = "<eval>") -> None:
+        """Eval a chunk of Verilog: module declarations enter the outer
+        scope, loose items are appended to the root module (§3.1)."""
+        src = parse_source(text, source_name)
+        for module in src.modules:
+            self.library.declare(module)
+        if src.root_items:
+            self.root_items.extend(src.root_items)
+            self._invalidate()
+        elif src.modules:
+            # Declarations alone do not change the running program.
+            pass
+
+    def eval_statement(self, text: str) -> None:
+        """Eval a single statement: wrapped in an initial process at the
+        end of the root module and executed once."""
+        stmt = parse_statement_text(text)
+        self.root_items.append(ast.InitialBlock(stmt, stmt.loc))
+        self._invalidate()
+
+    def eval_item(self, item: ast.Item) -> None:
+        self.root_items.append(item)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._needs_rebuild = True
+
+    # ------------------------------------------------------------------
+    # Rebuild: program -> IR -> engines (the eval window work)
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        self.generation += 1
+        root = ast.Module("main", [], list(self.root_items))
+        program = build_ir(root, self.library,
+                           external=set(STDLIB_MODULE_NAMES),
+                           inlined=self.inline_user_logic)
+
+        saved_state: Dict[str, Dict[str, object]] = {}
+        old_nets: Dict[str, Bits] = {}
+        if self.plane is not None:
+            old_nets = dict(self.plane.values)
+        old_engines = self.engines
+        for name, engine in old_engines.items():
+            saved_state[name] = engine.get_state()
+
+        engines: Dict[str, Engine] = {}
+        for sub in program.subprograms.values():
+            if sub.external:
+                old = old_engines.get(sub.name)
+                if isinstance(old, StdlibEngine) and \
+                        old.subprogram.source_module == sub.source_module:
+                    old.subprogram = sub
+                    engines[sub.name] = old
+                else:
+                    engines[sub.name] = make_stdlib_engine(sub, self.board)
+            else:
+                engine = SoftwareEngineAdapter(sub)
+                state = saved_state.get(sub.name)
+                if state:
+                    engine.set_state(state)
+                engines[sub.name] = engine
+
+        self.program = program
+        self.engines = engines
+        self.absorbed = set()
+        self._open_loop_active = False
+        self._oloop_limit = _OLOOP_MIN
+        self._oloop_exec_cap = _OLOOP_REAL_CAP
+        self.plane = DataPlane(program, self.time_model)
+        for net, value in old_nets.items():
+            if net in self.plane.values:
+                self.plane.values[net] = value
+        # Nets with no carried-over value take their driver's current
+        # output (standard-library engines power up with defined values).
+        for sub in program.subprograms.values():
+            engine = engines[sub.name]
+            for port, (net, direction) in sub.bindings.items():
+                if direction == "out" and \
+                        self.plane.values[net].has_xz:
+                    self.plane.values[net] = engine.read(port)
+        # Seed every engine input from current net values.
+        for sub in program.subprograms.values():
+            engine = engines[sub.name]
+            for port, (net, direction) in sub.bindings.items():
+                if direction == "in":
+                    value = self.plane.values.get(net)
+                    if value is not None and not value.has_xz:
+                        engine.write(port, value)
+
+        # Drop one-shot initial items: initial processes run once, in
+        # the program we just built, and must not re-run on the next
+        # rebuild.  Once they have executed we rebuild again so the JIT
+        # sees a synthesizable (initial-free) root subprogram.
+        before = len(self.root_items)
+        self.root_items = [
+            item for item in self.root_items
+            if not isinstance(item, ast.InitialBlock)]
+        self._had_transients = len(self.root_items) != before
+
+        # Restart the JIT for every user subprogram (§4.4: engines move
+        # back to software and the process starts anew on modification).
+        self.compiler.cancel_all()
+        self.unsynthesizable = {}
+        if self.enable_jit:
+            for sub in program.user_subprograms():
+                try:
+                    job = self.compiler.submit(
+                        sub, self.time_model.now_seconds,
+                        self.engines[sub.name].design)  # type: ignore
+                    self._job_generation[id(job)] = self.generation
+                except SynthesisError as exc:
+                    self.unsynthesizable[sub.name] = str(exc)
+        self._needs_rebuild = False
+
+    # ------------------------------------------------------------------
+    # The Figure 6 scheduler
+    # ------------------------------------------------------------------
+    def _active_engines(self) -> List[Tuple[str, Engine]]:
+        return [(name, e) for name, e in self.engines.items()
+                if name not in self.absorbed]
+
+    def _drain_tasks(self) -> None:
+        for name, engine in self._active_engines():
+            for task in engine.drain_tasks():
+                if task.kind == "display":
+                    self.interrupts.push_display(task.text, task.newline)
+                else:
+                    self.interrupts.push_finish(task.code)
+
+    def _phase_loop(self) -> None:
+        """Drain evaluation/update events to an observable state."""
+        plane = self.plane
+        assert plane is not None
+        for _ in range(100_000):
+            active = self._active_engines()
+            evals = [(n, e) for n, e in active if e.there_are_evals()]
+            if evals:
+                for name, engine in evals:
+                    self._charge_call(engine)
+                    engine.evaluate()
+                plane.propagate(self.engines, self.absorbed)
+                self._drain_tasks()
+                continue
+            updates = [(n, e) for n, e in active
+                       if e.there_are_updates()]
+            if updates:
+                for name, engine in updates:
+                    self._charge_call(engine)
+                    engine.update()
+                plane.propagate(self.engines, self.absorbed)
+                self._drain_tasks()
+                continue
+            return
+        raise CascadeError("scheduler did not reach an observable state")
+
+    def _charge_call(self, engine: Engine) -> None:
+        if engine.location == HARDWARE:
+            self.time_model.charge_mmio()
+            self.time_model.charge_hw_ticks(1)
+        else:
+            self.time_model.charge_sw_events(1)
+
+    def _window(self) -> None:
+        """Between time steps: service interrupts, apply evals, poll the
+        JIT, advance logical time."""
+        while self.interrupts:
+            interrupt = self.interrupts.pop()
+            if interrupt.kind == Interrupt.DISPLAY:
+                text, newline = interrupt.payload
+                self.view.display(text, newline)
+            elif interrupt.kind == Interrupt.FINISH:
+                if self.finished is None:
+                    self.finished = interrupt.payload
+            elif interrupt.kind == Interrupt.ACTION:
+                interrupt.payload()
+        self.iterations += 1
+        self.time_model.charge_runtime()
+        for name, engine in self._active_engines():
+            if hasattr(engine, "set_time"):
+                engine.set_time(self.iterations // 2)
+            engine.end_step()
+        if self.plane is not None:
+            self.plane.propagate(self.engines, self.absorbed)
+        if getattr(self, "_had_transients", False):
+            # The one-shot initial processes have now executed; rebuild
+            # without them so the subprogram becomes synthesizable.
+            self._had_transients = False
+            self._needs_rebuild = True
+        if self.enable_jit:
+            self._poll_jit()
+
+    def _iteration(self, fast_forward: bool = False) -> None:
+        if self._needs_rebuild:
+            self._rebuild()
+        if self._open_loop_active and not self.interrupts:
+            self._run_open_loop(fast_forward)
+            return
+        self._phase_loop()
+        self._window()
+
+    # ------------------------------------------------------------------
+    # JIT: engine replacement, forwarding, open loop
+    # ------------------------------------------------------------------
+    def _poll_jit(self) -> None:
+        for job in self.compiler.completed(self.time_model.now_seconds):
+            if self._job_generation.get(id(job)) != self.generation:
+                continue
+            if job.compiled is None:
+                self.unsynthesizable[job.subprogram.name] = \
+                    job.error or "compilation failed"
+                continue
+            self._swap_to_hardware(job)
+        self._maybe_enter_open_loop()
+
+    def _swap_to_hardware(self, job) -> None:
+        name = job.subprogram.name
+        old = self.engines.get(name)
+        if old is None or old.location == HARDWARE:
+            return
+        sub = self.program.subprograms[name]
+        hw = HardwareEngine(sub, job.compiled)
+        hw.set_state(old.get_state())
+        for port, (net, direction) in sub.bindings.items():
+            if direction == "in":
+                value = self.plane.values.get(net)
+                if value is not None and not value.has_xz:
+                    hw.write(port, value)
+        # Settle combinational outputs before anyone observes them, so
+        # the handover is glitch-free.
+        hw.evaluate()
+        hw.drain_tasks()
+        self.engines[name] = hw
+        self.hw_migrations += 1
+        self.view.info(f"[cascade] {name} migrated to hardware "
+                       f"({job.resources['luts']} LUTs, "
+                       f"{job.duration_s:.0f}s compile)")
+        if self.enable_forwarding:
+            self._try_forwarding(hw, sub)
+
+    def _try_forwarding(self, hw: HardwareEngine,
+                        sub: Subprogram) -> None:
+        """Absorb standard components whose nets connect only to this
+        engine (§4.3)."""
+        my_nets = {net for net, _ in sub.bindings.values()}
+        for other in self.program.external_subprograms():
+            if other.name in self.absorbed:
+                continue
+            nets = [net for net, _ in other.bindings.values()]
+            ok = True
+            for net_name in nets:
+                net = self.program.nets[net_name]
+                parties = set(net.readers) | (
+                    {net.driver} if net.driver else set())
+                if not parties <= {sub.name, other.name}:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            inner = self.engines[other.name]
+            if isinstance(inner, ClockEngine):
+                # The clock is handled by open-loop absorption below.
+                continue
+            hw.forward(inner)
+            self.absorbed.add(other.name)
+            self.view.info(f"[cascade] {other.name} forwarded into "
+                           f"{sub.name}")
+
+    def _maybe_enter_open_loop(self) -> None:
+        if not self.enable_open_loop or self._open_loop_active:
+            return
+        users = self.program.user_subprograms()
+        if len(users) != 1:
+            return
+        sub = users[0]
+        hw = self.engines.get(sub.name)
+        if not isinstance(hw, HardwareEngine):
+            return
+        # Everything except the clock must be absorbed or unconnected.
+        clock_name = None
+        for other in self.program.external_subprograms():
+            engine = self.engines[other.name]
+            if isinstance(engine, ClockEngine):
+                clock_name = other.name
+                continue
+            if other.name in self.absorbed:
+                continue
+            # An external component with live connections blocks open
+            # loop; one with no connected nets is harmless.
+            connected = any(
+                self.program.nets[net].readers or
+                self.program.nets[net].driver != other.name
+                for net, _ in other.bindings.values())
+            if connected:
+                return
+        if clock_name is None:
+            return
+        clock_sub = self.program.subprograms[clock_name]
+        clock_net = clock_sub.bindings["val"][0]
+        clock_port = None
+        for port, (net, direction) in sub.bindings.items():
+            if net == clock_net and direction == "in":
+                clock_port = port
+                break
+        if clock_port is None:
+            return
+        hw.absorb_clock(self.engines[clock_name], clock_port)
+        self.absorbed.add(clock_name)
+        self._open_loop_active = True
+        self.view.info(f"[cascade] entering open-loop scheduling "
+                       f"(clock={clock_port})")
+
+    def _run_open_loop(self, fast_forward: bool) -> None:
+        users = self.program.user_subprograms()
+        hw = self.engines[users[0].name]
+        assert isinstance(hw, HardwareEngine)
+        # Let absorbed peripherals sample the host/board before the
+        # batch, so button presses etc. are visible to this batch rather
+        # than the next one.
+        hw.end_step()
+        limit = self._oloop_limit
+        execute = min(limit, self._oloop_exec_cap)
+        host_start = _time.perf_counter()
+        done = hw.open_loop(hw.clock_attr or "", execute)
+        host_elapsed = _time.perf_counter() - host_start
+        # Adapt the *executed* batch size to host speed so control
+        # returns to the runtime regularly (the §4.4 profiling, applied
+        # to our simulated fabric).
+        if host_elapsed > 1e-4 and done:
+            rate = done / host_elapsed
+            self._oloop_exec_cap = int(
+                min(max(rate * 0.25, _OLOOP_MIN), _OLOOP_REAL_CAP))
+        had_tasks = hw.has_tasks
+        self._drain_tasks()
+        if fast_forward and done == execute and not had_tasks \
+                and limit > execute:
+            # Steady task-free state: account the rest of the batch
+            # analytically without executing it (rate is identical).
+            done = limit
+        self.time_model.charge_hw_ticks(done)
+        self.time_model.charge_mmio(2)  # one request/response round trip
+        self.time_model.charge_runtime()
+        self.iterations += done
+        # Adaptive iteration limit (§4.4): grow while the engine runs
+        # full batches without runtime intervention; shrink on tasks.
+        if had_tasks:
+            self._oloop_limit = max(_OLOOP_MIN, done)
+        else:
+            target = int(0.5 * self.time_model.fabric_mhz * 1e6)
+            self._oloop_limit = min(max(limit * 2, _OLOOP_MIN), target)
+        # Service interrupts and let absorbed peripherals see the host.
+        while self.interrupts:
+            interrupt = self.interrupts.pop()
+            if interrupt.kind == Interrupt.DISPLAY:
+                text, newline = interrupt.payload
+                self.view.display(text, newline)
+            elif interrupt.kind == Interrupt.FINISH:
+                if self.finished is None:
+                    self.finished = interrupt.payload
+        hw.end_step()
+        if hasattr(hw, "set_time"):
+            hw.set_time(self.iterations // 2)
+        if self.enable_jit:
+            for job in self.compiler.completed(
+                    self.time_model.now_seconds):
+                pass  # nothing left to migrate in open loop
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def run(self, iterations: Optional[int] = None,
+            virtual_seconds: Optional[float] = None,
+            until_finish: bool = False,
+            fast_forward: bool = False,
+            sample_every: int = 64) -> None:
+        """Dispatch scheduler iterations until a bound is hit.
+
+        ``virtual_seconds`` bounds *additional* virtual time from now;
+        ``iterations`` bounds additional scheduler iterations;
+        ``until_finish`` stops at $finish.
+        """
+        if self._needs_rebuild:
+            self._rebuild()
+        start_s = self.time_model.now_seconds
+        start_iter = self.iterations
+        since_sample = 0
+        while self.finished is None:
+            if iterations is not None and \
+                    self.iterations - start_iter >= iterations:
+                break
+            if virtual_seconds is not None and \
+                    self.time_model.now_seconds - start_s \
+                    >= virtual_seconds:
+                break
+            before = self.iterations
+            self._iteration(fast_forward)
+            since_sample += self.iterations - before
+            if since_sample >= sample_every or self._open_loop_active:
+                self.perf.sample(self.time_model.now_seconds,
+                                 self.iterations // 2)
+                since_sample = 0
+            if until_finish and self.finished is not None:
+                break
+        self.perf.sample(self.time_model.now_seconds,
+                         self.iterations // 2)
+        self.view.flush()
+
+    def run_until_finish(self, max_virtual_seconds: float = 3600.0,
+                         fast_forward: bool = False) -> Optional[int]:
+        self.run(virtual_seconds=max_virtual_seconds, until_finish=True,
+                 fast_forward=fast_forward)
+        return self.finished
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def virtual_clock_ticks(self) -> int:
+        return self.iterations // 2
+
+    @property
+    def output_lines(self) -> List[str]:
+        self.view.flush()
+        return self.view.lines
+
+    def engine_locations(self) -> Dict[str, str]:
+        return {name: engine.location
+                for name, engine in self.engines.items()}
+
+    def user_engine_location(self) -> str:
+        users = self.program.user_subprograms() if self.program else []
+        if not users:
+            return SOFTWARE
+        return self.engines[users[0].name].location
+
+    def subprogram_source(self, name: str) -> str:
+        """The transformed stand-alone Verilog of a subprogram
+        (Figure 4), for inspection."""
+        from ..verilog.printer import module_to_str
+        return module_to_str(self.program.subprograms[name].module_ast)

@@ -1,0 +1,105 @@
+"""$display / $write format-string rendering.
+
+Implements the common conversion specifiers of IEEE 1364 §17.1: %d, %b,
+%o, %h, %c, %s, %t, %m, %% with optional zero / field-width prefixes
+(``%0d``, ``%8h``).  When the first argument is not a string, each value
+argument is printed as decimal, space-separated (matching iVerilog's
+practical behaviour closely enough for debugging output).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.bits import Bits
+
+__all__ = ["format_display"]
+
+
+def _fmt_value(value: Bits, conv: str, width_spec: str) -> str:
+    conv = conv.lower()
+    if conv == "d":
+        text = value.to_dec()
+    elif conv == "b":
+        text = value.to_bin()
+    elif conv == "h" or conv == "x":
+        text = value.to_hex()
+    elif conv == "o":
+        text = value.to_oct()
+    elif conv == "c":
+        text = chr(value.to_int_xz() & 0xFF)
+    elif conv == "s":
+        raw = value.to_int_xz()
+        nbytes = max(1, (value.width + 7) // 8)
+        data = raw.to_bytes(nbytes, "big", signed=False)
+        text = data.lstrip(b"\0").decode("latin-1")
+    elif conv == "t":
+        text = value.to_dec()
+    else:
+        text = value.to_dec()
+    if width_spec == "0":
+        if conv in ("h", "x", "b", "o"):
+            return text.lstrip("0") or "0"
+        return text
+    if width_spec:
+        return text.rjust(int(width_spec))
+    if conv == "d":
+        # Default %d right-justifies to the widest possible value.
+        max_digits = len(str((1 << value.width) - 1))
+        return text.rjust(max_digits)
+    return text
+
+
+def format_display(args: List[object], module_path: str = "",
+                   time: Optional[int] = None) -> str:
+    """Render a $display/$write argument list.
+
+    ``args`` contains ``str`` entries (string literals) and
+    :class:`Bits` entries (evaluated expressions), in order.
+    """
+    if not args:
+        return ""
+    if not isinstance(args[0], str):
+        return " ".join(
+            a if isinstance(a, str) else a.to_dec() for a in args)
+    fmt = args[0]
+    values = list(args[1:])
+    out: List[str] = []
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        if i >= len(fmt):
+            out.append("%")
+            break
+        width_spec = ""
+        while i < len(fmt) and fmt[i].isdigit():
+            width_spec += fmt[i]
+            i += 1
+        if i >= len(fmt):
+            break
+        conv = fmt[i]
+        i += 1
+        if conv == "%":
+            out.append("%")
+        elif conv == "m":
+            out.append(module_path)
+        elif conv.lower() == "t" and time is not None and not values:
+            out.append(str(time))
+        else:
+            if values:
+                value = values.pop(0)
+                if isinstance(value, str):
+                    out.append(value)
+                else:
+                    out.append(_fmt_value(value, conv, width_spec))
+            else:
+                out.append("%" + width_spec + conv)
+    # Trailing arguments beyond the format string print as decimal.
+    for v in values:
+        out.append(" " + (v if isinstance(v, str) else v.to_dec()))
+    return "".join(out)

@@ -1,0 +1,116 @@
+"""The virtual time base for the performance model (DESIGN.md §4).
+
+The paper measures Cascade by its *virtual clock*: "the average rate at
+which it can dispatch iterations of its scheduling loop" (§4.1), across
+physical domains that range from a GHz-class ARM core to a 50 MHz FPGA
+fabric.  We have neither device, so the runtime advances a discrete
+virtual clock whose per-operation costs are calibrated to the paper's
+platform:
+
+* a software engine charges ``sw_event_ns`` per event it processes plus
+  ``sw_iteration_ns`` fixed cost per scheduler iteration it takes part
+  in (calibrated so a small design simulates at roughly the 1 kHz range
+  the paper reports for interpreted simulation);
+* every data/control-plane message to a hardware-located engine charges
+  one MMIO round trip (``mmio_ns``) — the §4.4 observation that even one
+  message per iteration caps the virtual clock far below fabric rate;
+* a hardware engine processes any ABI request in a single fabric clock
+  tick (§5.2), and open-loop batches charge one tick per iteration plus
+  a single round trip.
+
+Compile latency is also charged in virtual time, by
+:mod:`repro.backend.compiler`, so whole JIT timelines (Figures 11/12)
+replay deterministically in milliseconds of host time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["TimeModel", "PerfTrace"]
+
+NS_PER_SEC = 1_000_000_000
+
+
+class TimeModel:
+    """Accumulates virtual nanoseconds for runtime operations."""
+
+    def __init__(self,
+                 fabric_mhz: float = 50.0,
+                 sw_event_ns: int = 120_000,
+                 sw_iteration_ns: int = 150_000,
+                 mmio_ns: int = 1_800,
+                 runtime_overhead_ns: int = 4_000):
+        self.fabric_mhz = fabric_mhz
+        self.fabric_tick_ns = 1_000.0 / fabric_mhz
+        self.sw_event_ns = sw_event_ns
+        self.sw_iteration_ns = sw_iteration_ns
+        self.mmio_ns = mmio_ns
+        self.runtime_overhead_ns = runtime_overhead_ns
+        self.now_ns: float = 0.0
+
+    # -- charging --------------------------------------------------------
+    def charge_sw_events(self, count: int) -> None:
+        self.now_ns += count * self.sw_event_ns
+
+    def charge_sw_iteration(self) -> None:
+        self.now_ns += self.sw_iteration_ns
+
+    def charge_mmio(self, messages: int = 1) -> None:
+        self.now_ns += messages * self.mmio_ns
+
+    def charge_hw_ticks(self, ticks: int) -> None:
+        self.now_ns += ticks * self.fabric_tick_ns
+
+    def charge_runtime(self) -> None:
+        self.now_ns += self.runtime_overhead_ns
+
+    def charge_ns(self, ns: float) -> None:
+        self.now_ns += ns
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def now_seconds(self) -> float:
+        return self.now_ns / NS_PER_SEC
+
+    def __repr__(self) -> str:
+        return f"TimeModel(now={self.now_seconds:.6f}s)"
+
+
+class PerfTrace:
+    """Samples (virtual seconds, virtual clock ticks) over a run, from
+    which benchmarks derive frequency-vs-time series (Figure 11/12)."""
+
+    def __init__(self):
+        self.samples: List[Tuple[float, int]] = [(0.0, 0)]
+
+    def sample(self, seconds: float, ticks: int) -> None:
+        self.samples.append((seconds, ticks))
+
+    def rate_series(self, window: int = 1) -> List[Tuple[float, float]]:
+        """(time, Hz) computed over consecutive sample windows."""
+        out: List[Tuple[float, float]] = []
+        for i in range(window, len(self.samples)):
+            t0, c0 = self.samples[i - window]
+            t1, c1 = self.samples[i]
+            if t1 > t0:
+                out.append((t1, (c1 - c0) / (t1 - t0)))
+        return out
+
+    def final_rate(self) -> float:
+        """Steady-state rate: over the last 10% of the run."""
+        if len(self.samples) < 2:
+            return 0.0
+        t_end, c_end = self.samples[-1]
+        cutoff = t_end * 0.9
+        for t0, c0 in reversed(self.samples):
+            if t0 <= cutoff:
+                if t_end > t0:
+                    return (c_end - c0) / (t_end - t0)
+                break
+        t0, c0 = self.samples[0]
+        return (c_end - c0) / (t_end - t0) if t_end > t0 else 0.0
+
+    def average_rate(self) -> float:
+        t_end, c_end = self.samples[-1]
+        return c_end / t_end if t_end > 0 else 0.0

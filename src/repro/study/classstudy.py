@@ -1,0 +1,84 @@
+"""Analysis of the class-study corpus: regenerates Table 1.
+
+Every per-source statistic is computed by parsing the submission with
+the real frontend and walking its AST — lines of Verilog, always
+blocks, blocking and nonblocking assignment counts, display statements.
+Build counts come from the (synthetic) instrumented build logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..verilog import ast
+from ..verilog.parser import parse_source
+from ..verilog.visitor import find_all
+from .corpus import StudentSolution
+
+__all__ = ["solution_stats", "analyze_corpus", "TABLE1_PAPER"]
+
+#: The paper's Table 1 (mean, min, max per metric).
+TABLE1_PAPER = {
+    "lines": (287, 113, 709),
+    "always_blocks": (5, 2, 12),
+    "blocking_assigns": (57, 28, 132),
+    "nonblocking_assigns": (7, 2, 33),
+    "display_statements": (11, 1, 32),
+    "builds": (27, 1, 123),
+}
+
+
+def solution_stats(solution: StudentSolution) -> Dict[str, int]:
+    """Static statistics for one submission, from its parsed AST."""
+    src = parse_source(solution.source,
+                       f"<student-{solution.student_id}>")
+    lines = len([ln for ln in solution.source.splitlines()
+                 if ln.strip()])
+    always = blocking = nonblocking = displays = 0
+    for module in src.modules:
+        always += len(module.items_of(ast.AlwaysBlock))
+        for item in module.items:
+            blocking += len(find_all(item, ast.BlockingAssign))
+            nonblocking += len(find_all(item, ast.NonblockingAssign))
+            displays += len([
+                t for t in find_all(item, ast.SysTask)
+                if t.name in ("$display", "$write")])
+    return {
+        "lines": lines,
+        "always_blocks": always,
+        "blocking_assigns": blocking,
+        "nonblocking_assigns": nonblocking,
+        "display_statements": displays,
+        "builds": solution.builds,
+    }
+
+
+def analyze_corpus(solutions: List[StudentSolution]
+                   ) -> Dict[str, Dict[str, float]]:
+    """Aggregate mean/min/max per metric over the corpus (Table 1),
+    plus the prose observations (blocking:nonblocking ratio, pipelined
+    fraction, submissions with logs)."""
+    rows = [solution_stats(s) for s in solutions]
+    out: Dict[str, Dict[str, float]] = {}
+    for metric in rows[0]:
+        values = [r[metric] for r in rows]
+        if metric == "builds":
+            values = [r[metric] for r, s in zip(rows, solutions)
+                      if s.has_log]
+        out[metric] = {
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+    total_blocking = sum(r["blocking_assigns"] for r in rows)
+    total_nonblocking = sum(r["nonblocking_assigns"] for r in rows)
+    out["aggregate"] = {
+        "n_submissions": len(solutions),
+        "n_with_logs": sum(1 for s in solutions if s.has_log),
+        "blocking_to_nonblocking":
+            total_blocking / max(total_nonblocking, 1),
+        "pipelined_fraction":
+            sum(1 for s in solutions if s.pipelined) / len(solutions),
+        "total_builds": sum(s.builds for s in solutions if s.has_log),
+    }
+    return out

@@ -1,0 +1,230 @@
+"""A synthetic corpus of student Needleman-Wunsch solutions (Table 1).
+
+The paper's Table 1 aggregates static statistics over 31 student
+submissions (plus build counts from instrumented logs).  We cannot
+obtain the submissions, so this generator produces a corpus of
+solutions in the styles the paper describes — "tended toward solutions
+with a very small amount of sequential logic, and over-used blocking
+assignments (8x more than non-blocking in aggregate)", heavy printf
+use, only ~29% pipelined — with knobs drawn from seeded distributions
+tuned to the reported ranges.  The analysis side
+(:mod:`repro.study.classstudy`) computes every statistic by parsing the
+generated Verilog with the real frontend.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..apps.nw import encode_dna, random_dna
+
+__all__ = ["StudentSolution", "generate_solution", "generate_corpus"]
+
+
+class StudentSolution:
+    """One synthetic submission: source text plus its build log size."""
+
+    def __init__(self, student_id: int, source: str, builds: int,
+                 pipelined: bool, has_log: bool):
+        self.student_id = student_id
+        self.source = source
+        self.builds = builds
+        self.pipelined = pipelined
+        self.has_log = has_log
+
+
+def _helper_functions(rng: random.Random, count: int) -> str:
+    """Utility functions students write (max3, base comparison, ...)."""
+    out = []
+    if count >= 1:
+        out.append("""
+  function signed [15:0] max2;
+    input signed [15:0] a;
+    input signed [15:0] b;
+    max2 = (a >= b) ? a : b;
+  endfunction
+""")
+    if count >= 2:
+        out.append("""
+  function signed [15:0] max3;
+    input signed [15:0] a;
+    input signed [15:0] b;
+    input signed [15:0] c;
+    begin
+      max3 = a;
+      if (b > max3) max3 = b;
+      if (c > max3) max3 = c;
+    end
+  endfunction
+""")
+    if count >= 3:
+        out.append("""
+  function [1:0] base_at;
+    input [127:0] seq;
+    input [7:0] idx;
+    base_at = seq[2 * idx +: 2];
+  endfunction
+""")
+    return "".join(out)
+
+
+def _debug_block(rng: random.Random, n_displays: int) -> str:
+    """The printf-heavy debugging style the paper reports."""
+    lines = []
+    for k in range(n_displays):
+        what = rng.choice([
+            '$display("row %0d col %0d", i, j);',
+            '$display("cell %0d", best);',
+            '$display("diag %0d up %0d left %0d", diag, up, left);',
+            '$display("state %0d", state);',
+            '$write("score so far: ");',
+            '$display("%0d", score);',
+        ])
+        lines.append(f"        if (dbg_level > {k % 4}) {what}")
+    if not lines:
+        return ""
+    return ("      if (dbg_en) begin\n" + "\n".join(lines)
+            + "\n      end\n")
+
+
+def _unrolled_row_block(rng: random.Random, blocking_cells: int,
+                        assign_cells: int) -> str:
+    """Unrolled combinational row computation: a blocking-assignment
+    block (the '=' over-use the paper calls out) plus wire/assign
+    chains for the rest of the row."""
+    lines = ["  always @(*) begin",
+             "    t0 = prev_row[0];"]
+    for k in range(1, blocking_cells + 1):
+        lines.append(f"    d{k} = prev_row[{k - 1}] + "
+                     f"((a_bits[{(2 * k) % 16} +: 2] == "
+                     f"b_bits[{(2 * k + 4) % 16} +: 2]) ? MATCH "
+                     ": MISMATCH);")
+        lines.append(f"    u{k} = prev_row[{k}] + GAP;")
+        lines.append(f"    l{k} = row_acc[{k - 1}] + GAP;")
+        lines.append(f"    row_acc[{k}] = max3(d{k}, u{k}, l{k});")
+    lines.append("  end")
+    for k in range(assign_cells):
+        lines.append(f"  wire signed [15:0] wd{k} = "
+                     f"t0 + ((a_bits[{(2 * k) % 16} +: 2] == "
+                     f"b_bits[{(2 * k + 6) % 16} +: 2]) ? MATCH "
+                     ": MISMATCH);")
+        lines.append(f"  wire signed [15:0] wu{k} = wd{k} + GAP;")
+        lines.append(f"  wire signed [15:0] wbest{k} = "
+                     f"max2(wd{k}, wu{k});")
+    return "\n".join(lines) + "\n"
+
+
+def generate_solution(student_id: int, rng: random.Random
+                      ) -> StudentSolution:
+    """One synthetic submission with style knobs drawn from the
+    distributions Table 1 implies."""
+    seq_len = rng.choice([8, 12, 16, 24, 32])
+    n_helpers = rng.randint(1, 3)
+    n_displays = rng.randint(1, 18)
+    # A long right tail of very verbose solutions (the 709-line max).
+    size_factor = rng.lognormvariate(0.0, 0.55)
+    unroll_cells = max(5, min(115,
+        int(26 * size_factor + rng.randint(0, 10))))
+    blocking_cells = min(unroll_cells, rng.randint(6, 26))
+    assign_cells = unroll_cells - blocking_cells
+    pipelined = rng.random() < 0.29
+    extra_always = rng.randint(0, 6)
+    # Most students over-use blocking assignment (the paper: 8x more
+    # blocking than nonblocking in aggregate, some using none at all).
+    proper_nba = rng.random() < 0.35
+    dbg = _debug_block(rng, n_displays)
+
+    a = random_dna(seq_len, seed=student_id * 3 + 1)
+    b = random_dna(seq_len, seed=student_id * 3 + 2)
+
+    decls = "\n".join(
+        f"  reg signed [15:0] d{k}, u{k}, l{k};"
+        for k in range(1, blocking_cells + 1))
+    op = "<=" if proper_nba else "="
+    extra_blocks = "\n".join(f"""
+  always @(posedge clk) begin
+    if (stage{k} < 3)
+      stage{k} {op} stage{k} + 1;
+    else
+      stage{k} {op} 0;
+  end""" for k in range(extra_always))
+    extra_regs = "\n".join(f"  reg [1:0] stage{k} = 0;"
+                           for k in range(extra_always))
+    pipeline_comment = "pipelined wavefront" if pipelined \
+        else "cell-at-a-time"
+
+    source = f"""// Student {student_id}: Needleman-Wunsch ({pipeline_comment})
+module NW_{student_id}(
+  input wire clk,
+  input wire start,
+  input wire dbg_en,
+  input wire [2:0] dbg_level,
+  output reg done = 0,
+  output reg signed [15:0] score = 0
+);
+  localparam signed [15:0] MATCH = 1;
+  localparam signed [15:0] MISMATCH = -1;
+  localparam signed [15:0] GAP = -1;
+  localparam [{2 * seq_len - 1}:0] SEQ_A = {2 * seq_len}'d{encode_dna(a)};
+  localparam [{2 * seq_len - 1}:0] SEQ_B = {2 * seq_len}'d{encode_dna(b)};
+
+  reg [15:0] a_bits = 16'hA5C3;
+  reg [15:0] b_bits = 16'h3C5A;
+  reg signed [15:0] prev_row [0:{seq_len}];
+  reg signed [15:0] row_acc [0:{blocking_cells}];
+  reg signed [15:0] t0;
+  reg [7:0] i = 0, j = 0;
+  reg [2:0] state = 0;
+  reg busy = 0;
+  reg signed [15:0] diag, up, left, best;
+  integer k;
+{decls}
+{extra_regs}
+{_helper_functions(rng, n_helpers)}
+{_unrolled_row_block(rng, blocking_cells, assign_cells)}
+{extra_blocks}
+
+  always @(posedge clk) begin
+    done <= 0;
+    if (start && !busy) begin
+      busy <= 1;
+      i {op} 1;
+      j {op} 1;
+      for (k = 0; k <= {seq_len}; k = k + 1)
+        prev_row[k] {op} k * GAP;
+    end else if (busy) begin
+      diag = prev_row[j - 1]
+          + ((SEQ_A[2 * (i - 1) +: 2] == SEQ_B[2 * (j - 1) +: 2])
+             ? MATCH : MISMATCH);
+      up = prev_row[j] + GAP;
+      left = (j == 1) ? (i * GAP + GAP) : best;
+      best = max2(diag, max2(up, left));
+{dbg}      if (j == {seq_len}) begin
+        if (i == {seq_len}) begin
+          score <= best;
+          done <= 1;
+          busy <= 0;
+          $display("final score %0d", best);
+        end else begin
+          i {op} i + 1;
+          j {op} 1;
+        end
+      end else begin
+        j {op} j + 1;
+      end
+    end
+  end
+endmodule
+"""
+    # Build counts from the instrumented logs (log-normal-ish spread
+    # with the heavy right tail the paper reports: 1..123, mean 27).
+    builds = max(1, min(123, int(rng.lognormvariate(3.0, 0.85))))
+    has_log = rng.random() < (23 / 31)
+    return StudentSolution(student_id, source, builds, pipelined, has_log)
+
+
+def generate_corpus(n: int = 31, seed: int = 378) -> List[StudentSolution]:
+    """The class's n submissions (UT CS378H, Fall 2018)."""
+    rng = random.Random(seed)
+    return [generate_solution(i, rng) for i in range(n)]

@@ -1,0 +1,843 @@
+"""Recursive-descent parser for the Verilog subset.
+
+The grammar covers the synthesizable core of Verilog-2005 plus the
+unsynthesizable constructs Cascade supports (system tasks, initial
+blocks, procedural delays and event controls).  Deliberately excluded,
+matching the paper's §7.2 and DESIGN.md: ``generate`` regions, ``task``
+declarations with outputs, ``defparam`` re-parameterisation.
+
+Entry points:
+
+* :func:`parse_source` — a whole compilation unit (modules plus loose
+  top-level items, which Cascade's REPL sends to the implicit root).
+* :func:`parse_module` — exactly one module.
+* :func:`parse_statement_text` / :func:`parse_expr_text` — used by the
+  REPL to eval single lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.bits import BitsError, parse_literal
+from ..common.errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import (EOF, IDENT, KEYWORD, NUMBER, OP, STRING, SYSIDENT,
+                     Token)
+
+# Binary operator precedence, higher binds tighter.
+_BINARY_PREC = {
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5, "^~": 5, "~^": 5,
+    "&": 6,
+    "==": 7, "!=": 7, "===": 7, "!==": 7,
+    "<": 8, "<=": 8, ">": 8, ">=": 8,
+    "<<": 9, ">>": 9, "<<<": 9, ">>>": 9,
+    "+": 10, "-": 10,
+    "*": 11, "/": 11, "%": 11,
+    "**": 12,
+}
+
+_UNARY_OPS = frozenset(["+", "-", "!", "~", "&", "~&", "|", "~|", "^",
+                        "~^", "^~"])
+
+_NET_KINDS = frozenset(["wire", "reg", "integer", "genvar", "tri",
+                        "supply0", "supply1"])
+
+
+class Parser:
+    """One parse over a fixed token stream."""
+
+    def __init__(self, text: str, source_name: str = "<input>"):
+        self.tokens = tokenize(text, source_name)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token stream helpers
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def at_op(self, *values: str) -> bool:
+        return self.peek().is_op(*values)
+
+    def at_kw(self, *values: str) -> bool:
+        return self.peek().is_kw(*values)
+
+    def accept_op(self, *values: str) -> Optional[Token]:
+        if self.at_op(*values):
+            return self.next()
+        return None
+
+    def accept_kw(self, *values: str) -> Optional[Token]:
+        if self.at_kw(*values):
+            return self.next()
+        return None
+
+    def expect_op(self, value: str) -> Token:
+        tok = self.next()
+        if not (tok.kind == OP and tok.value == value):
+            raise ParseError(f"expected {value!r}, found {tok.value!r}",
+                             tok.loc)
+        return tok
+
+    def expect_kw(self, value: str) -> Token:
+        tok = self.next()
+        if not (tok.kind == KEYWORD and tok.value == value):
+            raise ParseError(f"expected {value!r}, found {tok.value!r}",
+                             tok.loc)
+        return tok
+
+    def expect_ident(self) -> Token:
+        tok = self.next()
+        if tok.kind != IDENT:
+            raise ParseError(f"expected identifier, found {tok.value!r}",
+                             tok.loc)
+        return tok
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self.accept_op("?"):
+            then = self._parse_ternary()
+            self.expect_op(":")
+            els = self._parse_ternary()
+            return ast.Ternary(cond, then, els, cond.loc)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != OP:
+                return lhs
+            prec = _BINARY_PREC.get(tok.value, -1)
+            if prec < min_prec or prec < 0:
+                return lhs
+            op = self.next().value
+            # ** is right-associative; everything else left.
+            next_min = prec if op == "**" else prec + 1
+            rhs = self._parse_binary(next_min)
+            lhs = ast.Binary(op, lhs, rhs, tok.loc)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == OP and tok.value in _UNARY_OPS:
+            self.next()
+            operand = self._parse_unary()
+            return ast.Unary(tok.value, operand, tok.loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self.at_op("["):
+            loc = self.next().loc
+            first = self.parse_expr()
+            if self.accept_op(":"):
+                second = self.parse_expr()
+                expr = ast.RangeExpr(expr, first, second, ":", loc)
+            elif self.accept_op("+:"):
+                second = self.parse_expr()
+                expr = ast.RangeExpr(expr, first, second, "+:", loc)
+            elif self.accept_op("-:"):
+                second = self.parse_expr()
+                expr = ast.RangeExpr(expr, first, second, "-:", loc)
+            else:
+                expr = ast.IndexExpr(expr, first, loc)
+            self.expect_op("]")
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == NUMBER:
+            self.next()
+            try:
+                value = parse_literal(tok.value)
+            except BitsError as exc:
+                raise ParseError(str(exc), tok.loc) from None
+            return ast.Number(value, tok.value, sized="'" in tok.value,
+                              loc=tok.loc)
+        if tok.kind == STRING:
+            self.next()
+            return ast.StringLit(tok.value, tok.loc)
+        if tok.kind == SYSIDENT:
+            self.next()
+            args: List[ast.Expr] = []
+            if self.accept_op("("):
+                if not self.at_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+            return ast.Call(tok.value, args, tok.loc)
+        if tok.kind == IDENT:
+            return self._parse_name_or_call()
+        if tok.kind == OP and tok.value == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if tok.kind == OP and tok.value == "{":
+            return self._parse_concat()
+        raise ParseError(f"unexpected token {tok.value!r} in expression",
+                         tok.loc)
+
+    def _parse_name_or_call(self) -> ast.Expr:
+        first = self.expect_ident()
+        parts = [first.value]
+        while self.at_op(".") and self.peek(1).kind == IDENT:
+            self.next()
+            parts.append(self.expect_ident().value)
+        if len(parts) == 1 and self.at_op("("):
+            self.next()
+            args: List[ast.Expr] = []
+            if not self.at_op(")"):
+                args.append(self.parse_expr())
+                while self.accept_op(","):
+                    args.append(self.parse_expr())
+            self.expect_op(")")
+            return ast.Call(parts[0], args, first.loc)
+        return ast.Ident(parts, first.loc)
+
+    def _parse_concat(self) -> ast.Expr:
+        open_tok = self.expect_op("{")
+        first = self.parse_expr()
+        if self.at_op("{"):
+            # Replication: {count{expr}} — count already parsed.
+            self.next()
+            inner_parts = [self.parse_expr()]
+            while self.accept_op(","):
+                inner_parts.append(self.parse_expr())
+            self.expect_op("}")
+            self.expect_op("}")
+            inner = inner_parts[0] if len(inner_parts) == 1 else \
+                ast.Concat(inner_parts, open_tok.loc)
+            return ast.Repeat(first, inner, open_tok.loc)
+        parts = [first]
+        while self.accept_op(","):
+            parts.append(self.parse_expr())
+        self.expect_op("}")
+        return ast.Concat(parts, open_tok.loc)
+
+    # ------------------------------------------------------------------
+    # L-values: ident, select, part-select, or a concat of those.
+    # ------------------------------------------------------------------
+    def parse_lvalue(self) -> ast.Expr:
+        if self.at_op("{"):
+            open_tok = self.next()
+            parts = [self.parse_lvalue()]
+            while self.accept_op(","):
+                parts.append(self.parse_lvalue())
+            self.expect_op("}")
+            return ast.Concat(parts, open_tok.loc)
+        first = self.expect_ident()
+        parts = [first.value]
+        while self.at_op(".") and self.peek(1).kind == IDENT:
+            self.next()
+            parts.append(self.expect_ident().value)
+        expr: ast.Expr = ast.Ident(parts, first.loc)
+        while self.at_op("["):
+            loc = self.next().loc
+            idx = self.parse_expr()
+            if self.accept_op(":"):
+                second = self.parse_expr()
+                expr = ast.RangeExpr(expr, idx, second, ":", loc)
+            elif self.accept_op("+:"):
+                second = self.parse_expr()
+                expr = ast.RangeExpr(expr, idx, second, "+:", loc)
+            elif self.accept_op("-:"):
+                second = self.parse_expr()
+                expr = ast.RangeExpr(expr, idx, second, "-:", loc)
+            else:
+                expr = ast.IndexExpr(expr, idx, loc)
+            self.expect_op("]")
+        return expr
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.is_kw("begin"):
+            return self._parse_block()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        if tok.is_kw("case", "casez", "casex"):
+            return self._parse_case()
+        if tok.is_kw("for"):
+            return self._parse_for()
+        if tok.is_kw("while"):
+            self.next()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            body = self.parse_statement()
+            return ast.While(cond, body, tok.loc)
+        if tok.is_kw("repeat"):
+            self.next()
+            self.expect_op("(")
+            count = self.parse_expr()
+            self.expect_op(")")
+            body = self.parse_statement()
+            return ast.RepeatStmt(count, body, tok.loc)
+        if tok.is_kw("forever"):
+            self.next()
+            body = self.parse_statement()
+            return ast.Forever(body, tok.loc)
+        if tok.is_op("#"):
+            self.next()
+            amount = self._parse_primary()
+            if self.at_op(";"):
+                self.next()
+                return ast.DelayStmt(amount, None, tok.loc)
+            stmt = self.parse_statement()
+            return ast.DelayStmt(amount, stmt, tok.loc)
+        if tok.is_op("@"):
+            ctrl = self._parse_event_control()
+            if self.at_op(";"):
+                self.next()
+                return ast.EventStmt(ctrl, None, tok.loc)
+            stmt = self.parse_statement()
+            return ast.EventStmt(ctrl, stmt, tok.loc)
+        if tok.kind == SYSIDENT:
+            self.next()
+            args: List[ast.Expr] = []
+            if self.accept_op("("):
+                if not self.at_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+            self.expect_op(";")
+            return ast.SysTask(tok.value, args, tok.loc)
+        if tok.is_op(";"):
+            self.next()
+            return ast.NullStmt(tok.loc)
+        # Assignment (blocking or nonblocking).
+        lhs = self.parse_lvalue()
+        if self.accept_op("="):
+            rhs = self.parse_expr()
+            self.expect_op(";")
+            return ast.BlockingAssign(lhs, rhs, tok.loc)
+        if self.accept_op("<="):
+            rhs = self.parse_expr()
+            self.expect_op(";")
+            return ast.NonblockingAssign(lhs, rhs, tok.loc)
+        raise ParseError(
+            f"expected '=' or '<=' after l-value, found {self.peek().value!r}",
+            self.peek().loc)
+
+    def _parse_block(self) -> ast.Stmt:
+        open_tok = self.expect_kw("begin")
+        name = None
+        if self.accept_op(":"):
+            name = self.expect_ident().value
+        stmts: List[ast.Stmt] = []
+        while not self.at_kw("end"):
+            if self.peek().kind == EOF:
+                raise ParseError("unterminated begin/end block", open_tok.loc)
+            stmts.append(self.parse_statement())
+        self.expect_kw("end")
+        return ast.Block(stmts, name, open_tok.loc)
+
+    def _parse_if(self) -> ast.Stmt:
+        tok = self.expect_kw("if")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then = self.parse_statement()
+        els = None
+        if self.accept_kw("else"):
+            els = self.parse_statement()
+        return ast.If(cond, then, els, tok.loc)
+
+    def _parse_case(self) -> ast.Stmt:
+        tok = self.next()
+        kind = tok.value
+        self.expect_op("(")
+        expr = self.parse_expr()
+        self.expect_op(")")
+        items: List[ast.CaseItem] = []
+        while not self.at_kw("endcase"):
+            if self.peek().kind == EOF:
+                raise ParseError("unterminated case", tok.loc)
+            if self.accept_kw("default"):
+                self.accept_op(":")
+                body = self.parse_statement()
+                items.append(ast.CaseItem(None, body, tok.loc))
+            else:
+                exprs = [self.parse_expr()]
+                while self.accept_op(","):
+                    exprs.append(self.parse_expr())
+                self.expect_op(":")
+                body = self.parse_statement()
+                items.append(ast.CaseItem(exprs, body, tok.loc))
+        self.expect_kw("endcase")
+        return ast.Case(kind, expr, items, tok.loc)
+
+    def _parse_for(self) -> ast.Stmt:
+        tok = self.expect_kw("for")
+        self.expect_op("(")
+        init_lhs = self.parse_lvalue()
+        self.expect_op("=")
+        init_rhs = self.parse_expr()
+        init = ast.BlockingAssign(init_lhs, init_rhs, tok.loc)
+        self.expect_op(";")
+        cond = self.parse_expr()
+        self.expect_op(";")
+        step_lhs = self.parse_lvalue()
+        self.expect_op("=")
+        step_rhs = self.parse_expr()
+        step = ast.BlockingAssign(step_lhs, step_rhs, tok.loc)
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, tok.loc)
+
+    def _parse_event_control(self) -> ast.EventControl:
+        at = self.expect_op("@")
+        if self.accept_op("*"):
+            return ast.EventControl(True, [], at.loc)
+        self.expect_op("(")
+        if self.accept_op("*"):
+            self.expect_op(")")
+            return ast.EventControl(True, [], at.loc)
+        items = [self._parse_event_item()]
+        while self.accept_kw("or") or self.accept_op(","):
+            items.append(self._parse_event_item())
+        self.expect_op(")")
+        return ast.EventControl(False, items, at.loc)
+
+    def _parse_event_item(self) -> ast.EventItem:
+        tok = self.peek()
+        edge = None
+        if self.accept_kw("posedge"):
+            edge = "posedge"
+        elif self.accept_kw("negedge"):
+            edge = "negedge"
+        expr = self.parse_expr()
+        return ast.EventItem(edge, expr, tok.loc)
+
+    # ------------------------------------------------------------------
+    # Declarations and module items
+    # ------------------------------------------------------------------
+    def _parse_range_opt(self) -> Optional[ast.Range]:
+        if not self.at_op("["):
+            return None
+        tok = self.next()
+        msb = self.parse_expr()
+        self.expect_op(":")
+        lsb = self.parse_expr()
+        self.expect_op("]")
+        return ast.Range(msb, lsb, tok.loc)
+
+    def _parse_declarators(self) -> List[ast.Declarator]:
+        decls = []
+        while True:
+            name_tok = self.expect_ident()
+            dims: List[ast.Range] = []
+            while self.at_op("["):
+                rng = self._parse_range_opt()
+                assert rng is not None
+                dims.append(rng)
+            init = None
+            if self.accept_op("="):
+                init = self.parse_expr()
+            decls.append(ast.Declarator(name_tok.value, dims, init,
+                                        name_tok.loc))
+            if not self.accept_op(","):
+                return decls
+
+    def _parse_net_decl(self) -> ast.NetDecl:
+        tok = self.next()
+        kind = tok.value
+        signed = bool(self.accept_kw("signed")) or kind == "integer"
+        range_ = self._parse_range_opt()
+        if kind == "integer":
+            range_ = _int_range(tok.loc)
+        decls = self._parse_declarators()
+        self.expect_op(";")
+        return ast.NetDecl(kind, signed, range_, decls, tok.loc)
+
+    def _parse_param_decl(self, local: bool) -> List[ast.ParamDecl]:
+        tok = self.next()
+        signed = bool(self.accept_kw("signed"))
+        if self.accept_kw("integer"):
+            signed = True
+        range_ = self._parse_range_opt()
+        out = []
+        while True:
+            name_tok = self.expect_ident()
+            self.expect_op("=")
+            value = self.parse_expr()
+            out.append(ast.ParamDecl(local, name_tok.value, value, signed,
+                                     range_, tok.loc))
+            # In header lists the comma may separate whole `parameter`
+            # declarations rather than names; leave it for the caller.
+            if not (self.at_op(",") and self.peek(1).kind == IDENT):
+                break
+            self.next()
+        return out
+
+    def _parse_assign(self) -> ast.ContinuousAssign:
+        tok = self.expect_kw("assign")
+        lhs = self.parse_lvalue()
+        self.expect_op("=")
+        rhs = self.parse_expr()
+        assigns = [ast.ContinuousAssign(lhs, rhs, tok.loc)]
+        while self.accept_op(","):
+            lhs = self.parse_lvalue()
+            self.expect_op("=")
+            rhs = self.parse_expr()
+            assigns.append(ast.ContinuousAssign(lhs, rhs, tok.loc))
+        self.expect_op(";")
+        if len(assigns) == 1:
+            return assigns[0]
+        # Multiple assigns in one statement are rare; return the first and
+        # stash the rest for the caller via an exception-free trick is ugly,
+        # so we simply disallow them.
+        raise ParseError("comma-separated assign lists are not supported",
+                         tok.loc)
+
+    def _parse_instantiation(self) -> ast.Instantiation:
+        mod_tok = self.expect_ident()
+        param_overrides: List[ast.Connection] = []
+        if self.accept_op("#"):
+            self.expect_op("(")
+            param_overrides = self._parse_connection_list()
+            self.expect_op(")")
+        inst_tok = self.expect_ident()
+        self.expect_op("(")
+        connections: List[ast.Connection] = []
+        if not self.at_op(")"):
+            connections = self._parse_connection_list()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.Instantiation(mod_tok.value, inst_tok.value,
+                                 param_overrides, connections, mod_tok.loc)
+
+    def _parse_connection_list(self) -> List[ast.Connection]:
+        out = []
+        while True:
+            tok = self.peek()
+            if tok.is_op("."):
+                self.next()
+                name = self.expect_ident().value
+                self.expect_op("(")
+                expr = None
+                if not self.at_op(")"):
+                    expr = self.parse_expr()
+                self.expect_op(")")
+                out.append(ast.Connection(name, expr, tok.loc))
+            elif tok.is_op(",") or tok.is_op(")"):
+                out.append(ast.Connection(None, None, tok.loc))
+            else:
+                out.append(ast.Connection(None, self.parse_expr(), tok.loc))
+            if not self.accept_op(","):
+                return out
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        tok = self.expect_kw("function")
+        signed = bool(self.accept_kw("signed"))
+        if self.accept_kw("integer"):
+            signed = True
+            range_: Optional[ast.Range] = _int_range(tok.loc)
+        else:
+            range_ = self._parse_range_opt()
+        name_tok = self.expect_ident()
+        ports: List[ast.Port] = []
+        locals_: List[ast.NetDecl] = []
+        if self.accept_op("("):
+            # ANSI-style function ports.
+            while not self.at_op(")"):
+                self.expect_kw("input")
+                p_signed = bool(self.accept_kw("signed"))
+                p_range = self._parse_range_opt()
+                p_name = self.expect_ident()
+                ports.append(ast.Port(p_name.value, "input", "wire",
+                                      p_signed, p_range, p_name.loc))
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+        self.expect_op(";")
+        while True:
+            if self.at_kw("input"):
+                self.next()
+                p_signed = bool(self.accept_kw("signed"))
+                p_range = self._parse_range_opt()
+                while True:
+                    p_name = self.expect_ident()
+                    ports.append(ast.Port(p_name.value, "input", "wire",
+                                          p_signed, p_range, p_name.loc))
+                    if not self.accept_op(","):
+                        break
+                self.expect_op(";")
+            elif self.at_kw("reg", "integer"):
+                locals_.append(self._parse_net_decl())
+            else:
+                break
+        body = self.parse_statement()
+        self.expect_kw("endfunction")
+        return ast.FunctionDecl(name_tok.value, signed, range_, ports,
+                                locals_, body, tok.loc)
+
+    # ------------------------------------------------------------------
+    # Ports (ANSI header and non-ANSI item declarations)
+    # ------------------------------------------------------------------
+    def _parse_ansi_port_list(self) -> List[ast.Port]:
+        ports: List[ast.Port] = []
+        if self.at_op(")"):
+            return ports
+        direction = None
+        net_kind = "wire"
+        signed = False
+        range_: Optional[ast.Range] = None
+        while True:
+            tok = self.peek()
+            if tok.is_kw("input", "output", "inout"):
+                direction = self.next().value
+                net_kind = "wire"
+                signed = False
+                range_ = None
+                if self.at_kw("wire", "reg"):
+                    net_kind = self.next().value
+                if self.accept_kw("signed"):
+                    signed = True
+                range_ = self._parse_range_opt()
+            name_tok = self.expect_ident()
+            init = None
+            if direction is not None and self.accept_op("="):
+                init = self.parse_expr()
+            if direction is None:
+                # Non-ANSI list: names only; directions come later.
+                ports.append(ast.Port(name_tok.value, "", "wire", False,
+                                      None, None, name_tok.loc))
+            else:
+                ports.append(ast.Port(name_tok.value, direction, net_kind,
+                                      signed, range_, init, name_tok.loc))
+            if not self.accept_op(","):
+                return ports
+
+    def _parse_port_item(self, module_ports: List[ast.Port]) -> None:
+        """A non-ANSI ``input/output/inout`` item: update the port list."""
+        dir_tok = self.next()
+        net_kind = "wire"
+        if self.at_kw("wire", "reg"):
+            net_kind = self.next().value
+        signed = bool(self.accept_kw("signed"))
+        range_ = self._parse_range_opt()
+        by_name = {p.name: p for p in module_ports}
+        while True:
+            name_tok = self.expect_ident()
+            port = by_name.get(name_tok.value)
+            if port is None:
+                raise ParseError(
+                    f"port declaration for {name_tok.value!r} does not match "
+                    "the module port list", name_tok.loc)
+            port.direction = dir_tok.value
+            port.net_kind = net_kind
+            port.signed = signed
+            port.range_ = range_
+            if not self.accept_op(","):
+                break
+        self.expect_op(";")
+
+    # ------------------------------------------------------------------
+    # Modules and source text
+    # ------------------------------------------------------------------
+    def parse_module(self) -> ast.Module:
+        tok = self.next()
+        if not tok.is_kw("module", "macromodule"):
+            raise ParseError(f"expected 'module', found {tok.value!r}",
+                             tok.loc)
+        name_tok = self.expect_ident()
+        items: List[ast.Item] = []
+        # Header parameter list: #(parameter N = 1, ...)
+        if self.accept_op("#"):
+            self.expect_op("(")
+            while not self.at_op(")"):
+                if self.at_kw("parameter"):
+                    items.extend(self._parse_param_decl(local=False))
+                else:
+                    raise ParseError("expected 'parameter' in header",
+                                     self.peek().loc)
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+        ports: List[ast.Port] = []
+        if self.accept_op("("):
+            ports = self._parse_ansi_port_list()
+            self.expect_op(")")
+        self.expect_op(";")
+        while not self.at_kw("endmodule"):
+            if self.peek().kind == EOF:
+                raise ParseError("unterminated module", tok.loc)
+            item = self.parse_item(ports)
+            if item is not None:
+                items.append(item)
+        self.expect_kw("endmodule")
+        for port in ports:
+            if not port.direction:
+                raise ParseError(f"port {port.name!r} has no direction",
+                                 port.loc)
+        return ast.Module(name_tok.value, ports, items, tok.loc)
+
+    def parse_item(self, module_ports: List[ast.Port]) -> Optional[ast.Item]:
+        """One module item; returns None for items folded elsewhere
+        (non-ANSI port declarations mutate ``module_ports``)."""
+        tok = self.peek()
+        if tok.is_kw("input", "output", "inout"):
+            self._parse_port_item(module_ports)
+            return None
+        if tok.kind == KEYWORD and tok.value in _NET_KINDS:
+            return self._parse_net_decl()
+        if tok.is_kw("parameter"):
+            decls = self._parse_param_decl(local=False)
+            self.expect_op(";")
+            return _ParamGroup.wrap(decls)
+        if tok.is_kw("localparam"):
+            decls = self._parse_param_decl(local=True)
+            self.expect_op(";")
+            return _ParamGroup.wrap(decls)
+        if tok.is_kw("assign"):
+            return self._parse_assign()
+        if tok.is_kw("always"):
+            self.next()
+            ctrl = None
+            if self.at_op("@"):
+                ctrl = self._parse_event_control()
+            body = self.parse_statement()
+            return ast.AlwaysBlock(ctrl, body, tok.loc)
+        if tok.is_kw("initial"):
+            self.next()
+            body = self.parse_statement()
+            return ast.InitialBlock(body, tok.loc)
+        if tok.is_kw("function"):
+            return self._parse_function()
+        if tok.is_kw("defparam"):
+            raise ParseError(
+                "defparam re-parameterisation is deprecated and "
+                "unsupported (paper §7.2)", tok.loc)
+        if tok.is_kw("generate", "genvar"):
+            raise ParseError("generate regions are not supported", tok.loc)
+        if tok.is_kw("task"):
+            raise ParseError("task declarations are not supported", tok.loc)
+        if tok.kind == IDENT:
+            return self._parse_instantiation()
+        raise ParseError(f"unexpected token {tok.value!r} in module body",
+                         tok.loc)
+
+    def parse_source(self) -> ast.SourceText:
+        modules: List[ast.Module] = []
+        root_items: List[ast.Item] = []
+        loc = self.peek().loc
+        while self.peek().kind != EOF:
+            if self.at_kw("module", "macromodule"):
+                modules.append(self.parse_module())
+            elif self.peek().kind == SYSIDENT or \
+                    self.at_kw("if", "case", "casez", "casex", "begin",
+                               "for", "while", "repeat", "forever"):
+                # A loose statement for the root module's initial context
+                # is not valid in batch files; only REPL sends those.
+                raise ParseError(
+                    "statements are only accepted by the REPL, not in "
+                    "source files", self.peek().loc)
+            else:
+                item = self.parse_item([])
+                if item is not None:
+                    root_items.append(item)
+        return ast.SourceText(modules, _flatten_param_groups(root_items),
+                              loc)
+
+
+class _ParamGroup(ast.Item):
+    """Internal: carries several ParamDecls produced by one statement."""
+
+    _fields = ("decls",)
+    __slots__ = ("decls",)
+
+    def __init__(self, decls):
+        super().__init__(decls[0].loc if decls else None)
+        self.decls = list(decls)
+
+    @staticmethod
+    def wrap(decls):
+        if len(decls) == 1:
+            return decls[0]
+        return _ParamGroup(decls)
+
+
+def _flatten_param_groups(items):
+    out = []
+    for item in items:
+        if isinstance(item, _ParamGroup):
+            out.extend(item.decls)
+        else:
+            out.append(item)
+    return out
+
+
+def _int_range(loc) -> ast.Range:
+    from ..common.bits import Bits
+    return ast.Range(ast.Number(Bits.from_int(31, 32, True), "31", False,
+                                loc=loc),
+                     ast.Number(Bits.from_int(0, 32, True), "0", False,
+                                loc=loc), loc)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def parse_source(text: str, source_name: str = "<input>") -> ast.SourceText:
+    """Parse a compilation unit (one or more modules and loose items)."""
+    parser = Parser(text, source_name)
+    src = parser.parse_source()
+    for module in src.modules:
+        module.items[:] = _flatten_param_groups(module.items)
+    return src
+
+
+def parse_module(text: str, source_name: str = "<input>") -> ast.Module:
+    """Parse exactly one module declaration."""
+    parser = Parser(text, source_name)
+    module = parser.parse_module()
+    if parser.peek().kind != EOF:
+        raise ParseError("trailing input after module",
+                         parser.peek().loc)
+    module.items[:] = _flatten_param_groups(module.items)
+    return module
+
+
+def parse_statement_text(text: str,
+                         source_name: str = "<input>") -> ast.Stmt:
+    """Parse a single statement (REPL line)."""
+    parser = Parser(text, source_name)
+    stmt = parser.parse_statement()
+    if parser.peek().kind != EOF:
+        raise ParseError("trailing input after statement",
+                         parser.peek().loc)
+    return stmt
+
+
+def parse_expr_text(text: str, source_name: str = "<input>") -> ast.Expr:
+    """Parse a single expression (REPL probes, tests)."""
+    parser = Parser(text, source_name)
+    expr = parser.parse_expr()
+    if parser.peek().kind != EOF:
+        raise ParseError("trailing input after expression",
+                         parser.peek().loc)
+    return expr

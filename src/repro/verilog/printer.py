@@ -1,0 +1,234 @@
+"""AST -> Verilog source emitter.
+
+The emitter is used for three things: round-trip testing of the parser,
+pretty-printing the IR transformations (DESIGN.md §3.3), and emitting the
+instrumented hardware-engine code of Figure 10.  Compound sub-expressions
+are always parenthesised, which guarantees that re-parsing the output
+reconstructs the same tree regardless of precedence subtleties.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+__all__ = ["expr_to_str", "stmt_to_str", "item_to_str", "module_to_str",
+           "source_to_str"]
+
+_INDENT = "  "
+
+
+def _escape_string(s: str) -> str:
+    out = s.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{out}"'
+
+
+def expr_to_str(e: ast.Expr) -> str:
+    """Render an expression (fully parenthesised)."""
+    if isinstance(e, ast.Number):
+        return e.value.to_verilog() if e.sized else str(e.value.to_int())
+    if isinstance(e, ast.StringLit):
+        return _escape_string(e.value)
+    if isinstance(e, ast.Ident):
+        return e.name
+    if isinstance(e, ast.IndexExpr):
+        return f"{expr_to_str(e.base)}[{expr_to_str(e.index)}]"
+    if isinstance(e, ast.RangeExpr):
+        return (f"{expr_to_str(e.base)}[{expr_to_str(e.left)}"
+                f"{e.mode}{expr_to_str(e.right)}]")
+    if isinstance(e, ast.Unary):
+        return f"({e.op}{expr_to_str(e.operand)})"
+    if isinstance(e, ast.Binary):
+        return f"({expr_to_str(e.lhs)} {e.op} {expr_to_str(e.rhs)})"
+    if isinstance(e, ast.Ternary):
+        return (f"({expr_to_str(e.cond)} ? {expr_to_str(e.then)} : "
+                f"{expr_to_str(e.els)})")
+    if isinstance(e, ast.Concat):
+        return "{" + ", ".join(expr_to_str(p) for p in e.parts) + "}"
+    if isinstance(e, ast.Repeat):
+        return ("{" + expr_to_str(e.count) + "{" + expr_to_str(e.inner)
+                + "}}")
+    if isinstance(e, ast.Call):
+        if not e.args and e.name.startswith("$"):
+            return e.name
+        return f"{e.name}(" + ", ".join(expr_to_str(a) for a in e.args) + ")"
+    raise TypeError(f"cannot print expression {type(e).__name__}")
+
+
+def _range_to_str(r: ast.Range | None) -> str:
+    if r is None:
+        return ""
+    return f"[{expr_to_str(r.msb)}:{expr_to_str(r.lsb)}] "
+
+
+def _ctrl_to_str(c: ast.EventControl | None) -> str:
+    if c is None:
+        return ""
+    if c.star:
+        return "@(*) "
+    items = []
+    for item in c.items:
+        prefix = f"{item.edge} " if item.edge else ""
+        items.append(prefix + expr_to_str(item.expr))
+    return "@(" + " or ".join(items) + ") "
+
+
+def stmt_to_str(s: ast.Stmt, indent: int = 0) -> str:
+    """Render a statement with the given indentation level."""
+    pad = _INDENT * indent
+    if isinstance(s, ast.Block):
+        header = f"{pad}begin"
+        if s.name:
+            header += f" : {s.name}"
+        lines = [header]
+        for sub in s.stmts:
+            lines.append(stmt_to_str(sub, indent + 1))
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    if isinstance(s, ast.BlockingAssign):
+        return f"{pad}{expr_to_str(s.lhs)} = {expr_to_str(s.rhs)};"
+    if isinstance(s, ast.NonblockingAssign):
+        return f"{pad}{expr_to_str(s.lhs)} <= {expr_to_str(s.rhs)};"
+    if isinstance(s, ast.If):
+        then = s.then if s.then is not None else ast.NullStmt()
+        lines = [f"{pad}if ({expr_to_str(s.cond)})",
+                 stmt_to_str(then, indent + 1)]
+        if s.els is not None:
+            lines.append(f"{pad}else")
+            lines.append(stmt_to_str(s.els, indent + 1))
+        return "\n".join(lines)
+    if isinstance(s, ast.Case):
+        lines = [f"{pad}{s.kind} ({expr_to_str(s.expr)})"]
+        for item in s.items:
+            if item.exprs is None:
+                label = "default"
+            else:
+                label = ", ".join(expr_to_str(e) for e in item.exprs)
+            body = item.body if item.body is not None else ast.NullStmt()
+            lines.append(f"{pad}{_INDENT}{label}:")
+            lines.append(stmt_to_str(body, indent + 2))
+        lines.append(f"{pad}endcase")
+        return "\n".join(lines)
+    if isinstance(s, ast.For):
+        init = (f"{expr_to_str(s.init.lhs)} = {expr_to_str(s.init.rhs)}")
+        step = (f"{expr_to_str(s.step.lhs)} = {expr_to_str(s.step.rhs)}")
+        return (f"{pad}for ({init}; {expr_to_str(s.cond)}; {step})\n"
+                + stmt_to_str(s.body, indent + 1))
+    if isinstance(s, ast.While):
+        return (f"{pad}while ({expr_to_str(s.cond)})\n"
+                + stmt_to_str(s.body, indent + 1))
+    if isinstance(s, ast.RepeatStmt):
+        return (f"{pad}repeat ({expr_to_str(s.count)})\n"
+                + stmt_to_str(s.body, indent + 1))
+    if isinstance(s, ast.Forever):
+        return f"{pad}forever\n" + stmt_to_str(s.body, indent + 1)
+    if isinstance(s, ast.DelayStmt):
+        if s.stmt is None:
+            return f"{pad}#{expr_to_str(s.amount)};"
+        return (f"{pad}#{expr_to_str(s.amount)}\n"
+                + stmt_to_str(s.stmt, indent + 1))
+    if isinstance(s, ast.EventStmt):
+        ctrl = _ctrl_to_str(s.ctrl).rstrip()
+        if s.stmt is None:
+            return f"{pad}{ctrl};"
+        return f"{pad}{ctrl}\n" + stmt_to_str(s.stmt, indent + 1)
+    if isinstance(s, ast.SysTask):
+        if s.args:
+            args = ", ".join(expr_to_str(a) for a in s.args)
+            return f"{pad}{s.name}({args});"
+        return f"{pad}{s.name};"
+    if isinstance(s, ast.NullStmt):
+        return f"{pad};"
+    raise TypeError(f"cannot print statement {type(s).__name__}")
+
+
+def item_to_str(item: ast.Item, indent: int = 1) -> str:
+    """Render a module item."""
+    pad = _INDENT * indent
+    if isinstance(item, ast.NetDecl):
+        signed = "signed " if item.signed and item.kind != "integer" else ""
+        rng = "" if item.kind == "integer" else _range_to_str(item.range_)
+        decls = []
+        for d in item.decls:
+            text = d.name
+            for dim in d.dims:
+                text += f" [{expr_to_str(dim.msb)}:{expr_to_str(dim.lsb)}]"
+            if d.init is not None:
+                text += f" = {expr_to_str(d.init)}"
+            decls.append(text)
+        return f"{pad}{item.kind} {signed}{rng}" + ", ".join(decls) + ";"
+    if isinstance(item, ast.ParamDecl):
+        kw = "localparam" if item.local else "parameter"
+        signed = "signed " if item.signed else ""
+        rng = _range_to_str(item.range_)
+        return (f"{pad}{kw} {signed}{rng}{item.name} = "
+                f"{expr_to_str(item.value)};")
+    if isinstance(item, ast.ContinuousAssign):
+        return (f"{pad}assign {expr_to_str(item.lhs)} = "
+                f"{expr_to_str(item.rhs)};")
+    if isinstance(item, ast.AlwaysBlock):
+        return (f"{pad}always {_ctrl_to_str(item.ctrl)}\n"
+                + stmt_to_str(item.body, indent + 1))
+    if isinstance(item, ast.InitialBlock):
+        return f"{pad}initial\n" + stmt_to_str(item.body, indent + 1)
+    if isinstance(item, ast.Instantiation):
+        text = f"{pad}{item.module_name}"
+        if item.param_overrides:
+            text += "#(" + ", ".join(
+                _conn_to_str(c) for c in item.param_overrides) + ")"
+        text += f" {item.inst_name}("
+        text += ", ".join(_conn_to_str(c) for c in item.connections)
+        return text + ");"
+    if isinstance(item, ast.FunctionDecl):
+        signed = "signed " if item.signed else ""
+        rng = _range_to_str(item.range_)
+        lines = [f"{pad}function {signed}{rng}{item.name};"]
+        for p in item.ports:
+            p_signed = "signed " if p.signed else ""
+            p_rng = _range_to_str(p.range_)
+            lines.append(f"{pad}{_INDENT}input {p_signed}{p_rng}{p.name};")
+        for decl in item.locals_:
+            lines.append(item_to_str(decl, indent + 1))
+        lines.append(stmt_to_str(item.body, indent + 1))
+        lines.append(f"{pad}endfunction")
+        return "\n".join(lines)
+    raise TypeError(f"cannot print item {type(item).__name__}")
+
+
+def _conn_to_str(c: ast.Connection) -> str:
+    expr = expr_to_str(c.expr) if c.expr is not None else ""
+    if c.name is not None:
+        return f".{c.name}({expr})"
+    return expr
+
+
+def module_to_str(module: ast.Module) -> str:
+    """Render a whole module declaration."""
+    lines: List[str] = []
+    ports = []
+    for p in module.ports:
+        signed = "signed " if p.signed else ""
+        rng = _range_to_str(p.range_)
+        kind = f" {p.net_kind}" if p.net_kind != "wire" else " wire"
+        init = f" = {expr_to_str(p.init)}" if p.init is not None else ""
+        ports.append(
+            f"{_INDENT}{p.direction}{kind} {signed}{rng}{p.name}{init}"
+            .replace("  ", " ").rstrip())
+    if ports:
+        lines.append(f"module {module.name}(")
+        lines.append(",\n".join(_INDENT + p.strip() for p in ports))
+        lines.append(");")
+    else:
+        lines.append(f"module {module.name}();")
+    for item in module.items:
+        lines.append(item_to_str(item, 1))
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def source_to_str(src: ast.SourceText) -> str:
+    parts = [module_to_str(m) for m in src.modules]
+    parts.extend(item_to_str(i, 0) for i in src.root_items)
+    return "\n\n".join(parts) + "\n"

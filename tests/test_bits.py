@@ -1,0 +1,323 @@
+"""Unit tests for the four-state Bits substrate."""
+
+import pytest
+
+from repro.common.bits import Bits, BitsError, parse_literal
+
+
+class TestConstruction:
+    def test_from_int_masks(self):
+        assert Bits.from_int(256, 8).to_uint() == 0
+        assert Bits.from_int(255, 8).to_uint() == 255
+
+    def test_from_int_negative_wraps(self):
+        assert Bits.from_int(-1, 8).to_uint() == 255
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(BitsError):
+            Bits(0)
+
+    def test_zeros_ones(self):
+        assert Bits.zeros(5).to_uint() == 0
+        assert Bits.ones(5).to_uint() == 31
+
+    def test_xes_and_zs(self):
+        assert Bits.xes(4).has_x and not Bits.xes(4).has_z
+        assert Bits.zs(4).has_z and not Bits.zs(4).has_x
+
+    def test_immutability(self):
+        b = Bits.from_int(1, 4)
+        with pytest.raises(AttributeError):
+            b.aval = 5
+
+
+class TestConversion:
+    def test_to_int_signed(self):
+        assert Bits.from_int(0xFF, 8, signed=True).to_int() == -1
+        assert Bits.from_int(0x7F, 8, signed=True).to_int() == 127
+
+    def test_to_uint_rejects_xz(self):
+        with pytest.raises(BitsError):
+            Bits.xes(4).to_uint()
+
+    def test_to_int_xz_substitution(self):
+        b = Bits(4, 0b1111, 0b0011)  # 11xx
+        assert b.to_int_xz(0) == 0b1100
+        assert b.to_int_xz(1) == 0b1111
+
+    def test_bool_true_only_on_known_one(self):
+        assert bool(Bits.from_int(2, 4))
+        assert not bool(Bits.zeros(4))
+        assert not bool(Bits.xes(4))
+
+    def test_bit_chars(self):
+        b = parse_literal("4'b10xz")
+        assert [b.bit(i) for i in range(4)] == ["z", "x", "0", "1"]
+
+
+class TestFormatting:
+    def test_to_bin(self):
+        assert parse_literal("4'b10xz").to_bin() == "10xz"
+
+    def test_to_hex_known(self):
+        assert Bits.from_int(0xAB, 8).to_hex() == "ab"
+
+    def test_to_hex_all_x_nibble(self):
+        assert parse_literal("8'bxxxx1111").to_hex() == "xf"
+
+    def test_to_hex_partial_unknown(self):
+        assert parse_literal("8'b1x111111").to_hex() == "Xf"
+
+    def test_to_dec(self):
+        assert Bits.from_int(42, 8).to_dec() == "42"
+        assert Bits.from_int(0xFF, 8, signed=True).to_dec() == "-1"
+        assert Bits.xes(8).to_dec() == "x"
+        assert Bits.zs(8).to_dec() == "z"
+
+    def test_to_verilog_roundtrip(self):
+        for text in ["8'hff", "12'habc", "4'b1x0z", "1'b1", "16'shbeef"]:
+            b = parse_literal(text)
+            assert parse_literal(b.to_verilog()) == b
+
+
+class TestLiterals:
+    def test_plain_decimal_is_32bit_signed(self):
+        b = parse_literal("42")
+        assert b.width == 32 and b.signed and b.to_int() == 42
+
+    def test_sized_hex(self):
+        assert parse_literal("8'hFF").to_uint() == 255
+
+    def test_sized_decimal(self):
+        assert parse_literal("10'd512").to_uint() == 512
+
+    def test_signed_literal(self):
+        b = parse_literal("8'shFF")
+        assert b.signed and b.to_int() == -1
+
+    def test_underscores(self):
+        assert parse_literal("16'b1010_1010_1010_1010").to_uint() == 0xAAAA
+
+    def test_x_extension_of_unsized(self):
+        b = parse_literal("'bx1")
+        assert b.width == 32
+        assert b.bit(31) == "x" and b.bit(0) == "1"
+
+    def test_zero_extension_of_unsized(self):
+        b = parse_literal("'b11")
+        assert b.width == 32 and b.to_uint() == 3
+
+    def test_truncation(self):
+        assert parse_literal("4'hFF").to_uint() == 15
+
+    def test_question_mark_is_z(self):
+        assert parse_literal("4'b????").has_z
+
+    def test_bad_literals(self):
+        for bad in ["8'", "'q12", "4'bxyz2", "8'h", ""]:
+            with pytest.raises(BitsError):
+                parse_literal(bad)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        a, b = Bits.from_int(200, 8), Bits.from_int(100, 8)
+        assert a.add(b).to_uint() == 44
+
+    def test_sub_wraps(self):
+        a, b = Bits.from_int(1, 8), Bits.from_int(2, 8)
+        assert a.sub(b).to_uint() == 255
+
+    def test_signed_mul(self):
+        a = Bits.from_int(-3, 8, signed=True)
+        b = Bits.from_int(5, 8, signed=True)
+        assert a.mul(b).to_int() == -15
+
+    def test_div_truncates_toward_zero(self):
+        a = Bits.from_int(-7, 8, signed=True)
+        b = Bits.from_int(2, 8, signed=True)
+        assert a.div(b).to_int() == -3
+
+    def test_mod_sign_follows_dividend(self):
+        a = Bits.from_int(-7, 8, signed=True)
+        b = Bits.from_int(2, 8, signed=True)
+        assert a.mod(b).to_int() == -1
+
+    def test_div_by_zero_is_x(self):
+        assert Bits.from_int(5, 8).div(Bits.zeros(8)).has_x
+
+    def test_x_poisons_arithmetic(self):
+        assert Bits.from_int(5, 8).add(Bits.xes(8)).has_x
+
+    def test_pow(self):
+        a = Bits.from_int(3, 16)
+        assert a.pow(Bits.from_int(4, 16)).to_uint() == 81
+
+    def test_neg(self):
+        assert Bits.from_int(1, 8).neg().to_uint() == 255
+
+
+class TestBitwise:
+    def test_and_x_rules(self):
+        # 0 & x = 0 (definite), 1 & x = x
+        zero, one, x = Bits.zeros(1), Bits.ones(1), Bits.xes(1)
+        assert zero.and_(x).is_zero()
+        assert one.and_(x).has_x
+
+    def test_or_x_rules(self):
+        zero, one, x = Bits.zeros(1), Bits.ones(1), Bits.xes(1)
+        assert bool(one.or_(x))
+        assert zero.or_(x).has_x
+
+    def test_xor_with_x(self):
+        assert Bits.ones(1).xor_(Bits.xes(1)).has_x
+
+    def test_not(self):
+        assert Bits.from_int(0b1010, 4).not_().to_uint() == 0b0101
+
+    def test_not_preserves_x(self):
+        b = parse_literal("4'b1x01").not_()
+        assert b.bit(2) == "x"
+        assert b.bit(3) == "0"
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(BitsError):
+            Bits.zeros(4).and_(Bits.zeros(5))
+
+
+class TestReductions:
+    def test_reduce_and(self):
+        assert bool(Bits.ones(4).reduce_and())
+        assert not bool(Bits.from_int(0b1110, 4).reduce_and())
+
+    def test_reduce_and_definite_zero_with_x(self):
+        assert parse_literal("4'b0xxx").reduce_and().is_zero()
+
+    def test_reduce_or_definite_one_with_x(self):
+        assert bool(parse_literal("4'b1xxx").reduce_or())
+
+    def test_reduce_xor_parity(self):
+        assert bool(Bits.from_int(0b0111, 4).reduce_xor())
+        assert not bool(Bits.from_int(0b0101, 4).reduce_xor())
+
+    def test_reduce_xor_x(self):
+        assert parse_literal("4'b1x00").reduce_xor().has_x
+
+
+class TestShifts:
+    def test_shl(self):
+        assert Bits.from_int(1, 8).shl(Bits.from_int(3, 8)).to_uint() == 8
+
+    def test_shl_overflow_drops(self):
+        assert Bits.from_int(0x80, 8).shl(Bits.from_int(1, 8)).to_uint() == 0
+
+    def test_shr_logical(self):
+        v = Bits.from_int(0x80, 8, signed=True)
+        assert v.shr(Bits.from_int(1, 8)).to_uint() == 0x40
+
+    def test_ashr_sign_extends(self):
+        v = Bits.from_int(0x80, 8, signed=True)
+        assert v.ashr(Bits.from_int(1, 8)).to_uint() == 0xC0
+
+    def test_huge_shift_zeroes(self):
+        assert Bits.from_int(0xFF, 8).shr(Bits.from_int(100, 8)).is_zero()
+
+    def test_x_amount_is_x(self):
+        assert Bits.from_int(1, 8).shl(Bits.xes(8)).has_x
+
+
+class TestComparisons:
+    def test_eq(self):
+        a = Bits.from_int(5, 8)
+        assert bool(a.eq(Bits.from_int(5, 8)))
+        assert not bool(a.eq(Bits.from_int(6, 8)))
+
+    def test_eq_with_x_is_x(self):
+        assert Bits.from_int(5, 8).eq(Bits.xes(8)).has_x
+
+    def test_case_eq_exact(self):
+        x = Bits.xes(8)
+        assert bool(x.case_eq(Bits.xes(8)))
+        assert not bool(x.case_eq(Bits.zeros(8)))
+
+    def test_signed_comparison(self):
+        a = Bits.from_int(-1, 8, signed=True)
+        b = Bits.from_int(1, 8, signed=True)
+        assert bool(a.lt(b))
+
+    def test_unsigned_comparison(self):
+        a = Bits.from_int(0xFF, 8)
+        b = Bits.from_int(1, 8)
+        assert bool(a.gt(b))
+
+
+class TestStructure:
+    def test_concat(self):
+        c = Bits.concat([Bits.from_int(0xA, 4), Bits.from_int(0xB, 4)])
+        assert c.width == 8 and c.to_uint() == 0xAB
+
+    def test_replicate(self):
+        assert Bits.from_int(0b10, 2).replicate(3).to_uint() == 0b101010
+
+    def test_part_in_range(self):
+        v = Bits.from_int(0xABCD, 16)
+        assert v.part(11, 4).to_uint() == 0xBC
+
+    def test_part_out_of_range_is_x(self):
+        v = Bits.from_int(0xF, 4)
+        p = v.part(5, 2)
+        assert p.bit(3) == "x" and p.bit(0) == "1"
+
+    def test_set_part(self):
+        v = Bits.zeros(8).set_part(5, 2, Bits.from_int(0xF, 4))
+        assert v.to_uint() == 0b00111100
+
+    def test_select(self):
+        v = Bits.from_int(0b100, 3)
+        assert bool(v.select(2)) and not bool(v.select(0))
+        assert v.select(10).has_x
+
+    def test_extend_signed(self):
+        v = Bits.from_int(-1, 4, signed=True).extend(8)
+        assert v.to_uint() == 0xFF
+
+    def test_extend_unsigned(self):
+        v = Bits.from_int(0xF, 4).extend(8)
+        assert v.to_uint() == 0x0F
+
+    def test_extend_x_msb(self):
+        v = parse_literal("4'bx111").extend(8)
+        assert v.bit(7) == "x"
+
+
+class TestLogical:
+    def test_log_not(self):
+        assert not bool(Bits.from_int(5, 8).log_not())
+        assert bool(Bits.zeros(8).log_not())
+        assert Bits.xes(8).log_not().has_x
+
+    def test_log_not_known_one_with_x(self):
+        # A known 1 bit makes the value true regardless of x bits.
+        b = parse_literal("4'b1xxx")
+        assert not bool(b.log_not())
+
+    def test_log_and_short_circuit_zero(self):
+        assert Bits.zeros(1).log_and(Bits.xes(1)).is_zero()
+
+    def test_log_or_short_circuit_one(self):
+        assert bool(Bits.ones(1).log_or(Bits.xes(1)))
+
+
+class TestWildcardMatch:
+    def test_casez_z_is_wild(self):
+        v = Bits.from_int(0b1010, 4)
+        assert v.matches(parse_literal("4'b1?1?"), wild_x=False)
+        assert not v.matches(parse_literal("4'b0?1?"), wild_x=False)
+
+    def test_casez_x_not_wild(self):
+        v = parse_literal("4'b1x10")
+        assert not v.matches(parse_literal("4'b1010"), wild_x=False)
+
+    def test_casex_x_wild(self):
+        v = parse_literal("4'b1x10")
+        assert v.matches(parse_literal("4'b1010"), wild_x=True)

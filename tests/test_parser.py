@@ -1,0 +1,313 @@
+"""Unit tests for the Verilog parser and printer round-trip."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.verilog import ast
+from repro.verilog.parser import (parse_expr_text, parse_module,
+                                  parse_source, parse_statement_text)
+from repro.verilog.printer import expr_to_str, module_to_str, source_to_str
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr_text("a + b * c")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.rhs, ast.Binary) and e.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = parse_expr_text("a << 2 > b")
+        assert e.op == ">" and e.lhs.op == "<<"
+
+    def test_power_right_assoc(self):
+        e = parse_expr_text("a ** b ** c")
+        assert e.op == "**"
+        assert isinstance(e.rhs, ast.Binary) and e.rhs.op == "**"
+
+    def test_ternary_nesting(self):
+        e = parse_expr_text("a ? b : c ? d : e")
+        assert isinstance(e, ast.Ternary)
+        assert isinstance(e.els, ast.Ternary)
+
+    def test_unary_chain(self):
+        e = parse_expr_text("~!a")
+        assert isinstance(e, ast.Unary) and e.op == "~"
+        assert isinstance(e.operand, ast.Unary) and e.operand.op == "!"
+
+    def test_reduction_unary(self):
+        e = parse_expr_text("^a")
+        assert isinstance(e, ast.Unary) and e.op == "^"
+
+    def test_concat(self):
+        e = parse_expr_text("{a, b, 2'b01}")
+        assert isinstance(e, ast.Concat) and len(e.parts) == 3
+
+    def test_replication(self):
+        e = parse_expr_text("{4{a}}")
+        assert isinstance(e, ast.Repeat)
+
+    def test_replication_of_concat(self):
+        e = parse_expr_text("{2{a, b}}")
+        assert isinstance(e, ast.Repeat)
+        assert isinstance(e.inner, ast.Concat)
+
+    def test_hierarchical_name(self):
+        e = parse_expr_text("r.y")
+        assert isinstance(e, ast.Ident) and e.parts == ("r", "y")
+
+    def test_bit_select(self):
+        e = parse_expr_text("v[3]")
+        assert isinstance(e, ast.IndexExpr)
+
+    def test_part_select(self):
+        e = parse_expr_text("v[7:4]")
+        assert isinstance(e, ast.RangeExpr) and e.mode == ":"
+
+    def test_indexed_part_select(self):
+        e = parse_expr_text("v[i+:8]")
+        assert isinstance(e, ast.RangeExpr) and e.mode == "+:"
+
+    def test_nested_select(self):
+        e = parse_expr_text("mem[i][3:0]")
+        assert isinstance(e, ast.RangeExpr)
+        assert isinstance(e.base, ast.IndexExpr)
+
+    def test_function_call(self):
+        e = parse_expr_text("f(a, b + 1)")
+        assert isinstance(e, ast.Call) and len(e.args) == 2
+
+    def test_system_function(self):
+        e = parse_expr_text("$signed(x)")
+        assert isinstance(e, ast.Call) and e.name == "$signed"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("a + b )")
+
+
+class TestStatements:
+    def test_nonblocking_vs_le(self):
+        s = parse_statement_text("a <= b <= c;")
+        assert isinstance(s, ast.NonblockingAssign)
+        assert isinstance(s.rhs, ast.Binary) and s.rhs.op == "<="
+
+    def test_if_else_chain(self):
+        s = parse_statement_text(
+            "if (a) x = 1; else if (b) x = 2; else x = 3;")
+        assert isinstance(s, ast.If)
+        assert isinstance(s.els, ast.If)
+
+    def test_case_with_multiple_labels(self):
+        s = parse_statement_text(
+            "case (x) 1, 2: y = 1; default: y = 0; endcase")
+        assert isinstance(s, ast.Case)
+        assert len(s.items[0].exprs) == 2
+        assert s.items[1].exprs is None
+
+    def test_casez(self):
+        s = parse_statement_text("casez (x) 4'b1???: y = 1; endcase")
+        assert s.kind == "casez"
+
+    def test_for_loop(self):
+        s = parse_statement_text("for (i = 0; i < 8; i = i + 1) x = x + i;")
+        assert isinstance(s, ast.For)
+
+    def test_named_block(self):
+        s = parse_statement_text("begin : blk x = 1; end")
+        assert isinstance(s, ast.Block) and s.name == "blk"
+
+    def test_delay_statement(self):
+        s = parse_statement_text("#5 x = 1;")
+        assert isinstance(s, ast.DelayStmt)
+        assert isinstance(s.stmt, ast.BlockingAssign)
+
+    def test_bare_delay(self):
+        s = parse_statement_text("#3;")
+        assert isinstance(s, ast.DelayStmt) and s.stmt is None
+
+    def test_event_statement(self):
+        s = parse_statement_text("@(posedge clk) q = d;")
+        assert isinstance(s, ast.EventStmt)
+        assert s.ctrl.items[0].edge == "posedge"
+
+    def test_systask(self):
+        s = parse_statement_text('$display("x=%d", x);')
+        assert isinstance(s, ast.SysTask) and len(s.args) == 2
+
+    def test_finish_no_args(self):
+        s = parse_statement_text("$finish;")
+        assert isinstance(s, ast.SysTask) and not s.args
+
+    def test_concat_lvalue(self):
+        s = parse_statement_text("{c, s} = a + b;")
+        assert isinstance(s.lhs, ast.Concat)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_statement_text("x = 1")
+
+
+class TestModules:
+    def test_ansi_ports(self):
+        m = parse_module(
+            "module m(input wire [7:0] a, output reg b); endmodule")
+        assert m.ports[0].direction == "input"
+        assert m.ports[1].net_kind == "reg"
+
+    def test_non_ansi_ports(self):
+        m = parse_module("""
+            module m(a, b);
+              input [3:0] a;
+              output reg b;
+            endmodule""")
+        assert m.ports[0].direction == "input"
+        assert m.ports[1].direction == "output"
+        assert m.ports[1].net_kind == "reg"
+
+    def test_undirected_port_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(a); endmodule")
+
+    def test_header_parameters(self):
+        m = parse_module(
+            "module m #(parameter W = 8)(input wire [W-1:0] a); endmodule")
+        params = m.items_of(ast.ParamDecl)
+        assert params and params[0].name == "W"
+
+    def test_body_parameters_and_localparam(self):
+        m = parse_module("""
+            module m();
+              parameter A = 1, B = 2;
+              localparam C = A + B;
+            endmodule""")
+        params = m.items_of(ast.ParamDecl)
+        assert [p.name for p in params] == ["A", "B", "C"]
+        assert params[2].local
+
+    def test_memory_declaration(self):
+        m = parse_module(
+            "module m(); reg [31:0] mem [0:255]; endmodule")
+        decl = m.items_of(ast.NetDecl)[0]
+        assert decl.decls[0].dims
+
+    def test_instantiation_named(self):
+        m = parse_module("""
+            module m(); wire [7:0] w;
+              Sub #(.N(4)) s(.x(w), .y());
+            endmodule""")
+        inst = m.items_of(ast.Instantiation)[0]
+        assert inst.module_name == "Sub"
+        assert inst.param_overrides[0].name == "N"
+        assert inst.connections[1].expr is None
+
+    def test_instantiation_positional(self):
+        m = parse_module(
+            "module m(); wire a, b; Sub s(a, b); endmodule")
+        inst = m.items_of(ast.Instantiation)[0]
+        assert all(c.name is None for c in inst.connections)
+
+    def test_function(self):
+        m = parse_module("""
+            module m();
+              function [7:0] double;
+                input [7:0] x;
+                double = x << 1;
+              endfunction
+            endmodule""")
+        fn = m.items_of(ast.FunctionDecl)[0]
+        assert fn.name == "double" and len(fn.ports) == 1
+
+    def test_defparam_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(); defparam x.N = 3; endmodule")
+
+    def test_generate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(); generate endgenerate endmodule")
+
+    def test_always_star(self):
+        m = parse_module(
+            "module m(); reg x; always @(*) x = 1; endmodule")
+        blk = m.items_of(ast.AlwaysBlock)[0]
+        assert blk.ctrl.star
+
+    def test_always_star_compact(self):
+        m = parse_module("module m(); reg x; always @* x = 1; endmodule")
+        assert m.items_of(ast.AlwaysBlock)[0].ctrl.star
+
+    def test_sensitivity_list_comma(self):
+        m = parse_module(
+            "module m(input wire a, input wire b); reg x;"
+            " always @(a, b) x = a; endmodule")
+        blk = m.items_of(ast.AlwaysBlock)[0]
+        assert len(blk.ctrl.items) == 2
+
+
+class TestSourceText:
+    def test_multiple_modules(self):
+        src = parse_source("""
+            module a(); endmodule
+            module b(); endmodule""")
+        assert [m.name for m in src.modules] == ["a", "b"]
+
+    def test_loose_items_go_to_root(self):
+        src = parse_source("""
+            module a(); endmodule
+            wire [7:0] w;
+            a inst();
+        """)
+        assert len(src.root_items) == 2
+
+    def test_loose_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("$display(1);")
+
+
+class TestPrinterRoundTrip:
+    CASES = [
+        "module m(input wire clk, output reg [7:0] q);\n"
+        "  always @(posedge clk) q <= q + 1;\nendmodule",
+        "module m();\n  reg [31:0] mem [0:15];\n"
+        "  integer i;\n"
+        "  initial for (i = 0; i < 16; i = i + 1) mem[i] = i;\nendmodule",
+        "module m(input wire [7:0] a, output wire [7:0] y);\n"
+        "  assign y = (a == 8'h80) ? 8'd1 : (a << 1);\nendmodule",
+        "module m();\n  function [3:0] f;\n    input [3:0] x;\n"
+        "    f = ~x;\n  endfunction\n  wire [3:0] w = f(4'b1010);\n"
+        "endmodule",
+        "module m(input wire c);\n  reg [1:0] s;\n"
+        "  always @(c) casez (s) 2'b1?: s = 0; default: s = s + 1; "
+        "endcase\nendmodule",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip_stable(self, text):
+        m1 = parse_module(text)
+        printed1 = module_to_str(m1)
+        m2 = parse_module(printed1)
+        printed2 = module_to_str(m2)
+        assert printed1 == printed2
+
+    def test_expr_round_trip(self):
+        cases = ["a + b * c", "{a, {2{b}}}", "v[7:2]", "m[i][j+:4]",
+                 "$signed(x) >>> 2", "(a ? b : c) ^ ~d"]
+        for text in cases:
+            e1 = parse_expr_text(text)
+            printed = expr_to_str(e1)
+            e2 = parse_expr_text(printed)
+            assert expr_to_str(e2) == printed
+
+    def test_source_round_trip(self):
+        text = """
+            module Rol(input wire [7:0] x, output wire [7:0] y);
+              assign y = (x == 8'h80) ? 1 : (x << 1);
+            endmodule
+            module Main(input wire clk, output wire [7:0] led);
+              reg [7:0] cnt = 1;
+              Rol r(.x(cnt));
+              always @(posedge clk) cnt <= r.y;
+              assign led = cnt;
+            endmodule"""
+        s1 = source_to_str(parse_source(text))
+        s2 = source_to_str(parse_source(s1))
+        assert s1 == s2

@@ -1,0 +1,135 @@
+"""The REPL controller/view and elaboration details."""
+
+import io
+
+import pytest
+
+from repro.common.bits import Bits
+from repro.common.errors import ElaborationError
+from repro.core.repl import Repl
+from repro.core.runtime import Runtime
+from repro.verilog.elaborate import ModuleLibrary, elaborate
+from repro.verilog.parser import parse_source
+
+
+class TestRepl:
+    def make(self):
+        return Repl(Runtime(), run_between_inputs=16)
+
+    def test_feed_module_then_items(self):
+        repl = self.make()
+        assert repl.feed("module Inc(input wire [3:0] a, "
+                         "output wire [3:0] b); assign b = a + 1; "
+                         "endmodule") == []
+        assert repl.feed("reg [3:0] n = 0;") == []
+        assert repl.feed("Inc i(.a(n), .b());") == []
+
+    def test_feed_statement(self):
+        repl = self.make()
+        assert repl.feed('$display("hi");') == []
+        assert "hi" in repl.runtime.output_lines
+
+    def test_feed_error_reported_not_raised(self):
+        repl = self.make()
+        errors = repl.feed("wire [ = garbage;")
+        assert errors
+        # The running program is unharmed.
+        assert repl.feed("wire ok;") == []
+
+    def test_commands(self):
+        repl = self.make()
+        assert "iterations" in repl.command(":run 10")
+        assert "virtual time" in repl.command(":time")
+        assert "clk" in repl.command(":where")
+        assert repl.command(":quit") is None
+        assert "unknown" in repl.command(":bogus")
+
+    def test_interact_loop(self):
+        repl = self.make()
+        stdin = io.StringIO("wire [3:0] w;\n\n:time\n:quit\n")
+        stdout = io.StringIO()
+        repl.interact(stdin, stdout)
+        assert "virtual time" in stdout.getvalue()
+
+    def test_feed_file(self, tmp_path):
+        path = tmp_path / "prog.v"
+        path.write_text("reg [3:0] n = 2;\nassign led.val = n;\n")
+        repl = self.make()
+        assert repl.feed_file(str(path)) == []
+        assert repl.runtime.board.leds.value == 2
+
+
+class TestElaboration:
+    def test_full_hierarchy_flattening(self):
+        src = parse_source("""
+module Leaf(input wire [3:0] a, output wire [3:0] b);
+  assign b = a + 1;
+endmodule
+module Top(input wire [3:0] x, output wire [3:0] y);
+  wire [3:0] mid;
+  Leaf l1(.a(x), .b(mid));
+  Leaf l2(.a(mid), .b(y));
+endmodule""")
+        library = ModuleLibrary(src.modules)
+        design = elaborate(library.get("Top"), library)
+        assert "l1.a" in design.vars and "l2.b" in design.vars
+
+    def test_parameter_defaults_and_dependent(self):
+        src = parse_source("""
+module P #(parameter W = 4, parameter D = W * 2)();
+  wire [D-1:0] bus;
+endmodule""")
+        library = ModuleLibrary(src.modules)
+        design = elaborate(library.get("P"), library)
+        assert design.vars["bus"].width == 8
+        design2 = elaborate(library.get("P"), library,
+                            {"W": Bits.from_int(3, 32)})
+        assert design2.vars["bus"].width == 6
+
+    def test_localparam_not_overridable(self):
+        src = parse_source("""
+module L();
+  localparam K = 7;
+endmodule""")
+        library = ModuleLibrary(src.modules)
+        with pytest.raises(ElaborationError):
+            elaborate(library.get("L"), library,
+                      {"K": Bits.from_int(1, 32)})
+
+    def test_recursive_instantiation_bounded(self):
+        src = parse_source("""
+module R();
+  R inner();
+endmodule""")
+        library = ModuleLibrary(src.modules)
+        with pytest.raises(ElaborationError):
+            elaborate(library.get("R"), library)
+
+    def test_duplicate_declaration(self):
+        src = parse_source("""
+module D();
+  wire w;
+  reg w;
+endmodule""")
+        library = ModuleLibrary(src.modules)
+        with pytest.raises(ElaborationError):
+            elaborate(library.get("D"), library)
+
+    def test_stats(self):
+        src = parse_source("""
+module S(input wire clk);
+  reg [3:0] a;
+  always @(posedge clk) begin
+    a <= a + 1;
+    $display("%0d", a);
+  end
+  always @(*) begin
+    ;
+  end
+endmodule""")
+        library = ModuleLibrary(src.modules)
+        design = elaborate(library.get("S"), library)
+        stats = design.stats()
+        assert stats["always_blocks"] == 2
+        assert stats["nonblocking_assigns"] == 1
+        assert stats["display_statements"] == 1

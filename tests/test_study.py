@@ -1,0 +1,78 @@
+"""The study substrates: user-behaviour model and class corpus."""
+
+import pytest
+
+from repro.study.classstudy import (TABLE1_PAPER, analyze_corpus,
+                                    solution_stats)
+from repro.study.corpus import generate_corpus
+from repro.study.usermodel import StudyConfig, run_study, summarize
+
+
+class TestUserModel:
+    def test_reproducible(self):
+        a = summarize(run_study(seed=42))
+        b = summarize(run_study(seed=42))
+        assert a == b
+
+    def test_groups_balanced(self):
+        subjects = run_study(n=20)
+        assert sum(1 for s in subjects
+                   if s.toolchain == "quartus") == 10
+
+    def test_every_subject_finishes(self):
+        for s in run_study(n=40, seed=5):
+            assert s.builds >= 1
+            assert s.total_seconds > 0
+
+    def test_directions_hold_at_scale(self):
+        c = summarize(run_study(n=600, seed=9))["comparison"]
+        assert c["builds_increase_pct"] > 15
+        assert c["completion_speedup_pct"] > 0
+        assert c["compile_time_ratio"] > 25
+
+    def test_compile_latency_drives_effect(self):
+        """Equal compile latencies remove the headline effects."""
+        config = StudyConfig(quartus_compile_s=1.9,
+                             cascade_compile_s=1.9,
+                             slow_batch_think_factor=1.0,
+                             slow_batch_fix_factor=1.0)
+        c = summarize(run_study(n=600, seed=9, config=config))
+        assert abs(c["comparison"]["builds_increase_pct"]) < 15
+        assert 0.8 < c["comparison"]["compile_time_ratio"] < 1.2
+
+    def test_quartus_latency_from_compiler_model(self):
+        config = StudyConfig()
+        assert 60 <= config.quartus_compile_s <= 200
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(n=31, seed=378)
+
+    def test_thirty_one_submissions(self, corpus):
+        assert len(corpus) == 31
+
+    def test_all_parse(self, corpus):
+        for solution in corpus:
+            stats = solution_stats(solution)
+            assert stats["lines"] > 0
+
+    def test_reproducible(self):
+        a = [s.source for s in generate_corpus(seed=1)]
+        b = [s.source for s in generate_corpus(seed=1)]
+        assert a == b
+
+    def test_aggregates_near_paper(self, corpus):
+        stats = analyze_corpus(corpus)
+        for metric, (p_mean, _, _) in TABLE1_PAPER.items():
+            got = stats[metric]["mean"]
+            assert p_mean / 2.5 <= got <= p_mean * 2.5, metric
+
+    def test_blocking_overuse(self, corpus):
+        agg = analyze_corpus(corpus)["aggregate"]
+        assert agg["blocking_to_nonblocking"] > 4
+
+    def test_build_counts_within_paper_range(self, corpus):
+        for s in corpus:
+            assert 1 <= s.builds <= 123
