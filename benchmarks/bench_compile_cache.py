@@ -1,0 +1,97 @@
+"""Bitstream-cache benchmark — cold vs warm host-side compile time.
+
+The asynchronous compile service memoizes toolchain output in a
+content-addressed cache (DESIGN.md §4): the first compile of a
+subprogram pays full codegen cost on the worker pool, a recompile of
+the identical source is a cache hit that skips synthesis entirely.
+This benchmark measures that host-side gap for the paper's two
+streaming applications (pow, regex) and emits a JSON summary
+(``bench_compile_cache.json``, or the path in the
+``CASCADE_BENCH_JSON`` environment variable).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.apps.pow import pow_program
+from repro.apps.regex import regex_program
+from repro.backend.compiler import CompileService
+from repro.core.runtime import Runtime
+
+pytestmark = pytest.mark.benchmark(group="compile_cache")
+
+
+def _user_subprogram(source: str):
+    """Build the program's (inlined) user subprogram + design."""
+    rt = Runtime(compile_service=CompileService(latency_scale=0.0),
+                 enable_jit=False)
+    rt.eval_source(source)
+    rt.run(iterations=2)
+    sub = rt.program.user_subprograms()[0]
+    return sub, rt.engines[sub.name].design
+
+
+def _measure(source: str):
+    sub, design = _user_subprogram(source)
+    service = CompileService()
+    t0 = time.perf_counter()
+    job_cold = service.submit(sub, now_s=0.0, design=design)
+    _ = job_cold.resources  # wait for the background worker
+    cold_s = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    job_warm = service.submit(sub, now_s=0.0, design=design)
+    _ = job_warm.resources
+    warm_s = time.perf_counter() - t1
+    assert job_warm.cache_hit and service.cache_hits == 1
+    return {
+        "cold_host_s": cold_s,
+        "warm_host_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "virtual_cold_s": job_cold.duration_s,
+        "virtual_warm_s": job_warm.duration_s,
+        "luts": job_cold.resources["luts"],
+    }
+
+
+def _emit(results: dict) -> str:
+    path = os.environ.get("CASCADE_BENCH_JSON",
+                          "bench_compile_cache.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+    return path
+
+
+@pytest.fixture(scope="module")
+def cache_results():
+    return {
+        "pow": _measure(pow_program(target_zeros=12, quiet=True)),
+        "regex": _measure(regex_program("ab(c|d)+e")[0]),
+    }
+
+
+def test_compile_cache_speedup(cache_results, benchmark):
+    results = benchmark.pedantic(lambda: cache_results,
+                                 rounds=1, iterations=1)
+    path = _emit(results)
+    print(f"\ncold vs warm host compile time (JSON -> {path})")
+    for name, r in results.items():
+        print(f"  {name:6s} cold={r['cold_host_s'] * 1e3:8.1f}ms "
+              f"warm={r['warm_host_s'] * 1e3:8.1f}ms "
+              f"speedup={r['speedup']:6.1f}x "
+              f"(virtual {r['virtual_cold_s']:.0f}s -> "
+              f"{r['virtual_warm_s']:.0f}s)")
+    for name, r in results.items():
+        # A warm compile must skip the real work entirely.
+        assert r["warm_host_s"] < r["cold_host_s"] / 2, name
+        # And the virtual latency collapses to the reprogramming cost.
+        assert r["virtual_warm_s"] < r["virtual_cold_s"] / 10, name
+
+
+if __name__ == "__main__":
+    out = {"pow": _measure(pow_program(target_zeros=12, quiet=True)),
+           "regex": _measure(regex_program("ab(c|d)+e")[0])}
+    print(json.dumps(out, indent=2, sort_keys=True))
+    _emit(out)

@@ -1,0 +1,266 @@
+"""Content-addressed caches for compile artifacts.
+
+Real Cascade memoizes toolchain output: recompiling a subprogram whose
+source the runtime has already seen costs (nearly) nothing, and SYNERGY
+extends the same idea to multi-tenant bitstream reuse.  Two caches model
+that here:
+
+* :class:`BitstreamCache` — the *bitstream* cache.  Key: SHA-256 of the
+  canonical printed Verilog of a subprogram (the round-trip-tested
+  printer makes the text a faithful content address), the
+  instrumentation flag, and the device/flow configuration.  Value: the
+  :class:`~repro.backend.pycompile.CompiledDesign`, the resource
+  estimate, the error string for deterministic failures, and the
+  placement the flow produced.  In-memory LRU with an optional on-disk
+  layer (the generated Python model source is itself the stored
+  artifact and is re-``exec``'d on a disk hit), so warm REPL sessions
+  and repeated benchmark runs skip synthesis entirely.
+
+* :class:`PlacementCache` — keyed by *netlist shape* rather than exact
+  source, it remembers the last placement for each shape so the
+  simulated-annealing placer can warm-start from a known-good seed at
+  reduced effort when a near-identical design comes back (the JIT
+  recompiles on every eval; most evals barely change the netlist).
+
+Both caches are thread-safe: compile workers populate them from the
+background pool while the runtime thread reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..verilog.elaborate import Design
+from .netlist import Netlist
+from .pycompile import CompiledDesign
+
+__all__ = ["BitstreamCache", "CacheEntry", "PlacementCache",
+           "design_cache_key"]
+
+Coord = Tuple[int, int]
+
+
+def design_cache_key(source: str, instrumented: bool,
+                     device_name: str, full_flow_max_luts: int) -> str:
+    """The content address of one compilation request."""
+    h = hashlib.sha256()
+    h.update(source.encode("utf-8"))
+    h.update(b"|instrumented=1|" if instrumented else b"|instrumented=0|")
+    h.update(device_name.encode("utf-8"))
+    h.update(b"|flow=%d" % full_flow_max_luts)
+    return h.hexdigest()
+
+
+class CacheEntry:
+    """Everything the toolchain learned about one source text."""
+
+    def __init__(self, compiled: Optional[CompiledDesign],
+                 resources: Dict[str, int], error: Optional[str],
+                 placement: Optional[Dict[str, Coord]] = None,
+                 flow_summary: Optional[str] = None):
+        self.compiled = compiled
+        self.resources = dict(resources)
+        self.error = error
+        self.placement = placement
+        self.flow_summary = flow_summary
+
+
+def _comb_snap_count(model_class) -> int:
+    n = 0
+    while hasattr(model_class, f"_comb_snap{n}"):
+        n += 1
+    return n
+
+
+def _rehydrate(design: Design, payload: Dict) -> CacheEntry:
+    """Rebuild a CacheEntry from its on-disk JSON payload.
+
+    The stored artifact is the generated Python model source; executing
+    it reconstructs the model class exactly (codegen is deterministic,
+    but re-exec is still ~100x cheaper than synthesis + codegen).
+    """
+    compiled = None
+    if payload.get("pysource"):
+        namespace: Dict[str, object] = {}
+        exec(compile(payload["pysource"],
+                     f"<cached:{design.name}>", "exec"), namespace)
+        model_class = namespace[payload["class_name"]]
+        for i in range(payload.get("comb_snaps", 0)):
+            setattr(model_class, f"_comb_snap{i}", None)
+        compiled = CompiledDesign(design, payload["pysource"], model_class,
+                                  list(payload.get("edge_signals", [])))
+    placement = None
+    if payload.get("placement") is not None:
+        placement = {cell: (loc[0], loc[1])
+                     for cell, loc in payload["placement"].items()}
+    return CacheEntry(compiled, payload["resources"],
+                      payload.get("error"), placement,
+                      payload.get("flow_summary"))
+
+
+class BitstreamCache:
+    """In-memory LRU of :class:`CacheEntry` with an optional disk layer.
+
+    ``disk_dir`` (or the ``CASCADE_CACHE_DIR`` environment variable)
+    enables persistence across processes: entries are written as one
+    JSON file per key and promoted back into the LRU on a disk hit.
+    """
+
+    def __init__(self, capacity: int = 128,
+                 disk_dir: Optional[str] = None):
+        self.capacity = capacity
+        self.disk_dir = disk_dir or os.environ.get("CASCADE_CACHE_DIR")
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, design: Optional[Design] = None
+            ) -> Optional[CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+        entry = self._disk_get(key, design)
+        with self._lock:
+            if entry is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._insert(key, entry)
+            else:
+                self.misses += 1
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._insert(key, entry)
+        self._disk_put(key, entry)
+
+    def _insert(self, key: str, entry: CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses, "disk_hits": self.disk_hits,
+                    "evictions": self.evictions}
+
+    # -- disk layer ------------------------------------------------------
+    def _path(self, key: str) -> Optional[str]:
+        if not self.disk_dir:
+            return None
+        return os.path.join(self.disk_dir, key + ".json")
+
+    def _disk_get(self, key: str,
+                  design: Optional[Design]) -> Optional[CacheEntry]:
+        path = self._path(key)
+        if path is None or design is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                payload = json.load(f)
+            return _rehydrate(design, payload)
+        except Exception:
+            return None  # a corrupt entry is just a miss
+
+    def _disk_put(self, key: str, entry: CacheEntry) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            payload = {
+                "class_name": entry.compiled.model_class.__name__
+                if entry.compiled else None,
+                "pysource": entry.compiled.source
+                if entry.compiled else None,
+                "edge_signals": entry.compiled.edge_signals
+                if entry.compiled else [],
+                "comb_snaps": _comb_snap_count(entry.compiled.model_class)
+                if entry.compiled else 0,
+                "resources": entry.resources,
+                "error": entry.error,
+                "placement": {c: list(loc) for c, loc in
+                              entry.placement.items()}
+                if entry.placement else None,
+                "flow_summary": entry.flow_summary,
+            }
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # the disk layer is strictly best-effort
+
+
+class PlacementCache:
+    """Last-known placement per netlist *shape*.
+
+    The shape signature hashes the cell names and kinds plus the device
+    geometry — exactly the information the placer keys moves on — so a
+    recompile whose logic changed slightly but whose cells are the same
+    can seed annealing from the previous solution instead of a random
+    placement ("warm start"), at a fraction of the move budget.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Dict[str, Coord]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def signature(netlist: Netlist, device) -> str:
+        h = hashlib.sha256()
+        h.update(f"{device.name}:{device.width}x{device.height}|"
+                 .encode("utf-8"))
+        for name in sorted(netlist.cells):
+            cell = netlist.cells[name]
+            h.update(f"{name}:{cell.kind};".encode("utf-8"))
+        return h.hexdigest()
+
+    def lookup(self, signature: str) -> Optional[Dict[str, Coord]]:
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            return dict(entry)
+
+    def store(self, signature: str,
+              locations: Dict[str, Coord]) -> None:
+        with self._lock:
+            self._entries[signature] = dict(locations)
+            self._entries.move_to_end(signature)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses}

@@ -1,0 +1,98 @@
+"""Background execution for the compile service.
+
+The paper's core trick is that hardware compilation happens *while the
+program keeps running* (§3.4, §6.1): the runtime never blocks on the
+toolchain.  The seed implementation only modeled this in virtual time —
+all real host work still ran synchronously inside ``submit()``.  This
+module provides the host-side half of the story: a small worker pool
+(:class:`CompileQueue`) that compile jobs are handed to, so submission
+is O(1) host time and codegen / synth / place / route overlap with the
+simulation the user is watching.
+
+Virtual time remains the authority for *when* a compile result becomes
+visible (``CompileJob.ready_at_s``); the pool only determines when the
+host work is physically finished.  If the virtual clock reaches a job's
+ready time before its worker has finished, the service waits on the
+future — keeping JIT timelines (Figures 11/12) bit-identical to the
+synchronous implementation while hiding the host latency in the common
+case.
+
+A process-wide shared pool (:func:`shared_queue`) is used by default so
+that the many short-lived runtimes created by tests and benchmarks do
+not each spawn their own threads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Optional
+
+__all__ = ["CompileQueue", "shared_queue"]
+
+
+def _default_workers() -> int:
+    return max(2, min(4, os.cpu_count() or 2))
+
+
+class CompileQueue:
+    """A thin wrapper around :class:`ThreadPoolExecutor`.
+
+    ``max_workers=0`` selects *inline* mode: submitted callables run
+    immediately on the caller's thread and return an already-resolved
+    future.  That mode exists for debugging (tracebacks point at the
+    submit site) and for comparing against the synchronous baseline.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = _default_workers() if max_workers is None \
+            else max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self.submitted = 0
+
+    # ------------------------------------------------------------------
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="cascade-compile")
+            return self._executor
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        self.submitted += 1
+        if self.max_workers == 0:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # mirrored from executor workers
+                future.set_exception(exc)
+            return future
+        return self._pool().submit(fn, *args, **kwargs)
+
+    def cancel(self, future: Future) -> bool:
+        """Best-effort cancellation: queued work is dropped; running
+        work finishes (our Quartus stand-in, like the real one, cannot
+        be killed mid-flight — the service discards its result)."""
+        return future.cancel()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+
+_shared: Optional[CompileQueue] = None
+_shared_lock = threading.Lock()
+
+
+def shared_queue() -> CompileQueue:
+    """The process-wide compile pool (created on first use)."""
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            _shared = CompileQueue()
+        return _shared

@@ -16,18 +16,42 @@ We model the toolchain with:
   reproducing the §6.4 observation that programs correct in simulation
   may still fail the later phases of JIT compilation.
 
+The service is **asynchronous on the host**: ``submit()`` only runs the
+cheap front-end (elaboration, the synthesizability check and the
+resource estimate) on the caller's thread, then hands code generation
+and the real flow to a background worker pool
+(:mod:`repro.backend.compilequeue`).  It is also **memoized**: results
+are stored in a content-addressed :class:`~repro.backend.cache
+.BitstreamCache` keyed by the canonical printed source, so recompiling
+an identical subprogram is a cache hit that skips synthesis entirely
+and completes after a small constant *virtual* latency (reprogramming
+the device, not recompiling for it — what real Cascade's compilation
+cache buys).
+
 Compile durations are charged in *virtual* time so whole JIT timelines
-(Figures 11/12) replay deterministically in milliseconds of host time.
+(Figures 11/12) replay deterministically in milliseconds of host time:
+``ready_at_s`` is fixed at submission from the deterministic estimate,
+and if the virtual clock reaches it before the background worker has
+finished, delivery waits for the worker — host speed can never change
+*when* (in virtual time) a result lands.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import threading
+import time
+from concurrent.futures import CancelledError
+from typing import Dict, List, Optional, Tuple
 
 from ..common.errors import SynthesisError
 from ..ir.build import Subprogram
 from ..verilog.elaborate import Design, elaborate_leaf
+from ..verilog.printer import module_to_str
+from .cache import BitstreamCache, CacheEntry, PlacementCache, \
+    design_cache_key
+from .compilequeue import CompileQueue, shared_queue
 from .estimate import estimate_resources, instrumentation_overhead
+from .fabric import Device
 from .pycompile import CompiledDesign, compile_design
 from .synthcheck import check_design
 
@@ -53,7 +77,14 @@ class CompilerModel:
 
 
 class CompileJob:
-    """One background compilation."""
+    """One background compilation.
+
+    The *virtual* schedule (``submitted_s``, ``duration_s``,
+    ``ready_at_s``) is fixed at submission; the *host* work happens on a
+    worker future.  ``compiled`` / ``resources`` / ``error`` wait for
+    the worker when accessed before it finishes — the virtual clock,
+    not host progress, decides when the job is delivered.
+    """
 
     PENDING = "pending"
     DONE = "done"
@@ -61,25 +92,97 @@ class CompileJob:
 
     def __init__(self, subprogram: Subprogram, design: Design,
                  submitted_s: float, duration_s: float,
-                 compiled: Optional[CompiledDesign],
-                 resources: Dict[str, int], error: Optional[str] = None):
+                 resources: Dict[str, int],
+                 compiled: Optional[CompiledDesign] = None,
+                 error: Optional[str] = None,
+                 cache_hit: bool = False,
+                 service: Optional["CompileService"] = None):
         self.subprogram = subprogram
         self.design = design
         self.submitted_s = submitted_s
         self.duration_s = duration_s
-        self.compiled = compiled
-        self.resources = resources
-        self.error = error
+        self.cache_hit = cache_hit
         self.delivered = False
+        self._resources = dict(resources)
+        self._compiled = compiled
+        self._error = error
+        self._future = None
+        self._resolved = cache_hit or compiled is not None \
+            or error is not None
+        self._cancel_requested = False
+        self._service = service
+        #: Set once this job's flow stage has run (or been skipped /
+        #: cancelled).  Flow stages execute in submission order so
+        #: warm-start placement lookups are deterministic — a job only
+        #: ever sees placements produced by earlier submissions, never
+        #: a racy subset of them.
+        self._flow_done = threading.Event()
+        self._flow_prev: Optional[threading.Event] = None
 
+    # -- host-side results ---------------------------------------------
+    def _resolve(self) -> None:
+        """Adopt the worker's result, waiting for it if necessary."""
+        if self._resolved:
+            return
+        future = self._future
+        if future is None:
+            self._resolved = True
+            return
+        t0 = time.perf_counter()
+        try:
+            outcome = future.result()
+        except CancelledError:
+            outcome = (None, None, "compilation cancelled")
+        except Exception as exc:  # the worker itself crashed
+            outcome = (None, None, str(exc) or type(exc).__name__)
+        if self._service is not None:
+            self._service._charge_host("wait_s",
+                                       time.perf_counter() - t0)
+        compiled, resources, error = outcome
+        self._compiled = compiled
+        if resources is not None:
+            self._resources = dict(resources)
+        self._error = error
+        self._resolved = True
+
+    @property
+    def host_done(self) -> bool:
+        """True once no host-side work remains (does not wait)."""
+        return self._resolved or self._future is None \
+            or self._future.done()
+
+    @property
+    def compiled(self) -> Optional[CompiledDesign]:
+        self._resolve()
+        return self._compiled
+
+    @property
+    def resources(self) -> Dict[str, int]:
+        self._resolve()
+        return self._resources
+
+    @property
+    def error(self) -> Optional[str]:
+        self._resolve()
+        return self._error
+
+    # -- virtual-time schedule -----------------------------------------
     @property
     def ready_at_s(self) -> float:
         return self.submitted_s + self.duration_s
 
     def state(self, now_s: float) -> str:
-        if self.error is not None:
-            return self.FAILED
-        return self.DONE if now_s >= self.ready_at_s else self.PENDING
+        """The job's state at virtual time ``now_s``.
+
+        Results — including failures, which the toolchain only
+        discovers while compiling (§6.4) — become visible exactly at
+        ``ready_at_s``; if the worker is still running then, this call
+        waits for it (host time only, virtual time is unaffected).
+        """
+        if now_s < self.ready_at_s:
+            return self.PENDING
+        self._resolve()
+        return self.FAILED if self._error is not None else self.DONE
 
     def __repr__(self) -> str:
         return (f"CompileJob({self.subprogram.name}, "
@@ -96,7 +199,13 @@ class CompileService:
 
     def __init__(self, model: Optional[CompilerModel] = None,
                  latency_scale: float = 1.0,
-                 full_flow_max_luts: int = 0):
+                 full_flow_max_luts: int = 0,
+                 cache: Optional[BitstreamCache] = None,
+                 placements: Optional[PlacementCache] = None,
+                 queue: Optional[CompileQueue] = None,
+                 device: Optional[Device] = None,
+                 cache_hit_latency_s: float = 1.0,
+                 warm_start_effort: float = 0.35):
         self.model = model or CompilerModel()
         self.latency_scale = latency_scale
         #: When positive, designs whose estimated LUT count is at or
@@ -104,11 +213,34 @@ class CompileService:
         #: exact area and genuine closure failures (§6.4) — instead of
         #: the calibrated estimator.
         self.full_flow_max_luts = full_flow_max_luts
+        self.cache = cache if cache is not None else BitstreamCache()
+        self.placements = placements if placements is not None \
+            else PlacementCache()
+        self.queue = queue if queue is not None else shared_queue()
+        self.device = device
+        #: Virtual seconds a cache hit still costs: the device must be
+        #: reprogrammed with the cached bitstream, but nothing is
+        #: recompiled (mirrors real Cascade's compilation cache).
+        self.cache_hit_latency_s = cache_hit_latency_s
+        self.warm_start_effort = warm_start_effort
         self.jobs: List[CompileJob] = []
         self.compiles_attempted = 0
         self.compiles_failed = 0
+        self.compiles_cancelled = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.warm_starts = 0
+        self._host_s: Dict[str, float] = {
+            "submit_s": 0.0, "codegen_s": 0.0, "flow_s": 0.0,
+            "wait_s": 0.0}
+        self._lock = threading.Lock()
+        self._last_flow_done: Optional[threading.Event] = None
 
     # ------------------------------------------------------------------
+    def _charge_host(self, phase: str, seconds: float) -> None:
+        with self._lock:
+            self._host_s[phase] = self._host_s.get(phase, 0.0) + seconds
+
     def estimate(self, design: Design,
                  instrumented: bool = True) -> Dict[str, int]:
         base = estimate_resources(design)
@@ -118,13 +250,19 @@ class CompileService:
                     set(base) | set(extra)}
         return base
 
+    # ------------------------------------------------------------------
     def submit(self, subprogram: Subprogram, now_s: float,
-               design: Optional[Design] = None) -> CompileJob:
+               design: Optional[Design] = None,
+               instrumented: bool = True) -> CompileJob:
         """Begin a background compilation of a subprogram.
 
         Raises :class:`SynthesisError` immediately when the subprogram
         is not synthesizable at all (those stay in software forever).
+        Everything slow — code generation and the real flow — runs on
+        the worker pool; this call costs only elaboration, the
+        synthesizability check and the resource estimate.
         """
+        t0 = time.perf_counter()
         self.compiles_attempted += 1
         if design is None:
             design = elaborate_leaf(subprogram.module_ast)
@@ -133,57 +271,168 @@ class CompileService:
             raise SynthesisError(
                 f"subprogram {subprogram.name!r} is unsynthesizable: "
                 + "; ".join(sorted(set(violations))))
-        resources = self.estimate(design, instrumented=True)
+        resources = self.estimate(design, instrumented=instrumented)
+        source = module_to_str(subprogram.module_ast)
+        key = design_cache_key(
+            source, instrumented,
+            self.device.name if self.device else "auto",
+            self.full_flow_max_luts)
+        entry = self.cache.get(key, design)
+        if entry is not None:
+            # Cache hit: no host work, and only the constant
+            # device-reprogramming cost in virtual time.
+            self.cache_hits += 1
+            if entry.error is not None:
+                self.compiles_failed += 1
+            duration = self.cache_hit_latency_s * self.latency_scale
+            job = CompileJob(subprogram, design, now_s, duration,
+                             entry.resources, compiled=entry.compiled,
+                             error=entry.error, cache_hit=True,
+                             service=self)
+        else:
+            self.cache_misses += 1
+            duration = self.model.duration_s(resources["luts"]) \
+                * self.latency_scale
+            job = CompileJob(subprogram, design, now_s, duration,
+                             resources, service=self)
+            flow_eligible = bool(
+                self.full_flow_max_luts
+                and resources["luts"] <= self.full_flow_max_luts)
+            if flow_eligible:
+                # Chain flow stages in submission order (worker start
+                # order is FIFO, so the chain cannot deadlock); codegen
+                # still runs fully in parallel.
+                job._flow_prev = self._last_flow_done
+                self._last_flow_done = job._flow_done
+            else:
+                job._flow_done.set()
+            job._future = self.queue.submit(
+                self._compile_job, job, key, resources, instrumented,
+                flow_eligible)
+        self.jobs.append(job)
+        self._charge_host("submit_s", time.perf_counter() - t0)
+        return job
+
+    # -- the worker ----------------------------------------------------
+    def _compile_job(self, job: CompileJob, key: str,
+                     resources: Dict[str, int], instrumented: bool,
+                     flow_eligible: bool
+                     ) -> Tuple[Optional[CompiledDesign],
+                                Dict[str, int], Optional[str]]:
+        """All real host-time work for one job (runs on the pool)."""
         try:
-            compiled = compile_design(design)
-            error = None
+            return self._compile_job_inner(job, key, resources,
+                                           flow_eligible)
+        finally:
+            job._flow_done.set()
+
+    def _compile_job_inner(self, job: CompileJob, key: str,
+                           resources: Dict[str, int],
+                           flow_eligible: bool
+                           ) -> Tuple[Optional[CompiledDesign],
+                                      Dict[str, int], Optional[str]]:
+        if job._cancel_requested:
+            return None, resources, "compilation cancelled"
+        t0 = time.perf_counter()
+        try:
+            compiled: Optional[CompiledDesign] = \
+                compile_design(job.design)
+            error: Optional[str] = None
         except Exception as exc:  # compilation itself failed
             compiled = None
             error = str(exc)
-            self.compiles_failed += 1
-        if compiled is not None and self.full_flow_max_luts and \
-                resources["luts"] <= self.full_flow_max_luts:
+        self._charge_host("codegen_s", time.perf_counter() - t0)
+        placement = None
+        flow_summary = None
+        if compiled is not None and flow_eligible:
+            if job._flow_prev is not None:
+                job._flow_prev.wait()
+            t1 = time.perf_counter()
             try:
                 from .flow import run_flow
-                report = run_flow(design)
+                report = run_flow(job.design, device=self.device,
+                                  placement_cache=self.placements,
+                                  warm_effort=self.warm_start_effort)
+                if report.placement.warm_started:
+                    with self._lock:
+                        self.warm_starts += 1
                 overhead = resources["luts"] - \
-                    estimate_resources(design)["luts"]
+                    estimate_resources(job.design)["luts"]
                 resources = dict(resources)
                 resources["luts"] = report.luts + max(overhead, 0)
                 resources["fmax_mhz"] = report.fmax_mhz
+                placement = report.placement.locations
+                flow_summary = report.summary()
                 if not report.success:
                     compiled = None
                     error = ("design failed "
                              + ("routing" if not report.routing.routed
                                 else "timing") + " closure")
-                    self.compiles_failed += 1
             except SynthesisError:
                 pass  # outside the gate-level subset: keep the estimate
-        duration = self.model.duration_s(resources["luts"]) \
-            * self.latency_scale
-        job = CompileJob(subprogram, design, now_s, duration, compiled,
-                         resources, error)
-        self.jobs.append(job)
-        return job
+            finally:
+                self._charge_host("flow_s", time.perf_counter() - t1)
+        if error is not None:
+            with self._lock:
+                self.compiles_failed += 1
+        if not job._cancel_requested:
+            # Deterministic results are worth caching either way: a
+            # failure recompiles to the same failure (§6.4).
+            self.cache.put(key, CacheEntry(
+                compiled, resources, error, placement, flow_summary))
+        return compiled, resources, error
 
+    # ------------------------------------------------------------------
     def cancel_all(self) -> None:
-        """Abandon in-flight jobs (the program changed under them)."""
+        """Abandon in-flight jobs (the program changed under them).
+
+        Futures still queued on the pool are cancelled outright;
+        running ones finish in the background (their result is
+        discarded, but still populates the cache)."""
+        for job in self.jobs:
+            if job.delivered:
+                continue
+            self.compiles_cancelled += 1
+            job._cancel_requested = True
+            if job._future is not None:
+                if self.queue.cancel(job._future):
+                    # The worker will never run; release anyone chained
+                    # behind this job's flow stage.
+                    job._flow_done.set()
         self.jobs = [j for j in self.jobs if j.delivered]
 
     def completed(self, now_s: float) -> List[CompileJob]:
-        """Jobs that have finished since the last poll."""
+        """Jobs — successful *and* failed — that have finished since
+        the last poll.  Failed jobs are returned so callers can surface
+        the error (§6.4); check ``job.error`` / ``job.compiled``."""
         out = []
         for job in self.jobs:
             if job.delivered:
                 continue
-            state = job.state(now_s)
-            if state == CompileJob.DONE:
+            if job.state(now_s) != CompileJob.PENDING:
                 job.delivered = True
                 out.append(job)
-            elif state == CompileJob.FAILED:
-                job.delivered = True
         return out
 
     def pending(self, now_s: float) -> List[CompileJob]:
         return [j for j in self.jobs
                 if not j.delivered and j.state(now_s) == CompileJob.PENDING]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counters and per-phase host times for introspection."""
+        with self._lock:
+            host = dict(self._host_s)
+        return {
+            "attempted": self.compiles_attempted,
+            "failed": self.compiles_failed,
+            "cancelled": self.compiles_cancelled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "warm_starts": self.warm_starts,
+            "in_flight": sum(1 for j in self.jobs
+                             if not j.delivered and not j.host_done),
+            "host_seconds": host,
+            "bitstream_cache": self.cache.stats(),
+            "placement_cache": self.placements.stats(),
+        }

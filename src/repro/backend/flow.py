@@ -60,20 +60,39 @@ class FlowReport:
 
 
 def run_flow(design: Design, device: Optional[Device] = None,
-             seed: int = 1, effort: float = 1.0) -> FlowReport:
+             seed: int = 1, effort: float = 1.0,
+             placement_cache=None,
+             warm_effort: float = 0.35) -> FlowReport:
     """Run the complete flow on a design.
 
     Raises SynthesisError for constructs outside the gate-level subset;
     routing overflow and timing failure are *reported*, not raised, so
     callers can inspect partial results (use ``report.timing.check()``
     to enforce closure).
+
+    ``placement_cache`` (a :class:`repro.backend.cache.PlacementCache`)
+    enables warm-start placement: when a previous placement exists for
+    the same netlist shape, annealing is seeded from it at
+    ``warm_effort`` instead of ``effort`` from a random start, and the
+    resulting placement is stored back for the next compile.
     """
     start = time.perf_counter()
     netlist = synthesize(design)
     if device is None:
         cells = netlist.count("LUT") + netlist.count("FF")
         device = device_for(max(cells, 16))
-    placement = place(netlist, device, seed=seed, effort=effort)
+    hint = None
+    signature = None
+    if placement_cache is not None:
+        signature = placement_cache.signature(netlist, device)
+        hint = placement_cache.lookup(signature)
+    if hint is not None:
+        placement = place(netlist, device, seed=seed,
+                          effort=warm_effort, initial=hint)
+    else:
+        placement = place(netlist, device, seed=seed, effort=effort)
+    if placement_cache is not None and signature is not None:
+        placement_cache.store(signature, placement.locations)
     routing = route(netlist, placement, device)
     timing = analyze_timing(netlist, placement, device)
     wall = time.perf_counter() - start

@@ -27,11 +27,13 @@ class Placement:
     """A cell -> grid-coordinate assignment plus quality metrics."""
 
     def __init__(self, locations: Dict[str, Coord], cost: float,
-                 moves_tried: int, moves_accepted: int):
+                 moves_tried: int, moves_accepted: int,
+                 warm_started: bool = False):
         self.locations = locations
         self.cost = cost
         self.moves_tried = moves_tried
         self.moves_accepted = moves_accepted
+        self.warm_started = warm_started
 
     def location(self, cell: str) -> Coord:
         return self.locations[cell]
@@ -55,9 +57,16 @@ def _hpwl(cells: List[str], locations: Dict[str, Coord]) -> int:
 
 
 def place(netlist: Netlist, device: Device, seed: int = 1,
-          effort: float = 1.0) -> Placement:
+          effort: float = 1.0,
+          initial: Optional[Dict[str, Coord]] = None) -> Placement:
     """Anneal a placement; raises :class:`PlacementError` when the
-    design does not fit the device."""
+    design does not fit the device.
+
+    ``initial`` warm-starts annealing: cells named in it keep their
+    previous grid site (when valid and unclaimed) instead of a random
+    one, so a recompile of a near-identical netlist begins near the old
+    optimum.  Callers typically combine it with a reduced ``effort``.
+    """
     rng = random.Random(seed)
     placeable = [name for name, cell in netlist.cells.items()
                  if cell.kind in ("LUT", "FF")]
@@ -78,9 +87,33 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
     sites = [(x, y) for y in range(device.height)
              for x in range(device.width)]
     rng.shuffle(sites)
-    for cell, site in zip(placeable, sites):
-        locations[cell] = site
-    free_sites = sites[len(placeable):]
+    warm_started = False
+    if initial:
+        valid = set(sites)
+        claimed = set()
+        for cell in placeable:
+            loc = initial.get(cell)
+            if loc is not None:
+                loc = (loc[0], loc[1])
+                if loc in valid and loc not in claimed:
+                    locations[cell] = loc
+                    claimed.add(loc)
+        # A seed that covers less than half the cells is noise, not a
+        # warm start — fall back to the random initial placement.
+        warm_started = len(locations) * 2 > len(placeable)
+        if not warm_started:
+            locations.clear()
+    if warm_started:
+        claimed = set(locations.values())
+        open_sites = [s for s in sites if s not in claimed]
+        rest = [c for c in placeable if c not in locations]
+        for cell, site in zip(rest, open_sites):
+            locations[cell] = site
+        free_sites = open_sites[len(rest):]
+    else:
+        for cell, site in zip(placeable, sites):
+            locations[cell] = site
+        free_sites = sites[len(placeable):]
     perimeter = _perimeter(device)
     stride = max(1, len(perimeter) // max(len(ios), 1))
     for i, io in enumerate(ios):
@@ -101,7 +134,10 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
 
     n = max(len(placeable), 1)
     moves_total = int(effort * 40 * n * max(math.log(n + 1), 1.0))
-    temperature = max(cost / max(n, 1), 1.0) * 2.0
+    # Warm starts begin near a previous optimum: a high initial
+    # temperature would only scramble it, so quench instead of melt.
+    temp_scale = 0.15 if warm_started else 2.0
+    temperature = max(cost / max(n, 1), 1.0) * temp_scale
     cooling = 0.95
     moves_per_temp = max(10 * n, 100)
     tried = accepted = 0
@@ -152,7 +188,7 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
                 delta_for(moved)  # restore cached net costs
         temperature *= cooling
 
-    return Placement(locations, cost, tried, accepted)
+    return Placement(locations, cost, tried, accepted, warm_started)
 
 
 def _perimeter(device: Device) -> List[Coord]:

@@ -24,7 +24,7 @@ __all__ = ["Repl", "main"]
 _BANNER = """\
 Cascade REPL (Python reproduction).  Implicit components: clk, rst, pad, led.
 Enter Verilog items or statements; end multi-line input with a blank line.
-Commands: :run N (iterations), :time, :where, :quit
+Commands: :run N (iterations), :time, :where, :stats, :quit
 """
 
 
@@ -68,15 +68,41 @@ class Repl:
         if name == ":quit":
             return None
         if name == ":run":
-            count = int(parts[1]) if len(parts) > 1 else 1000
+            try:
+                count = int(parts[1]) if len(parts) > 1 else 1000
+            except ValueError:
+                return f"usage: :run N (got {parts[1]!r})"
             self.runtime.run(iterations=count)
             return f"ran {count} iterations"
         if name == ":time":
+            s = self.runtime.compiler.stats()
             return (f"virtual time {self.runtime.time_model.now_seconds:.6f}s, "
-                    f"{self.runtime.virtual_clock_ticks} clock ticks")
+                    f"{self.runtime.virtual_clock_ticks} clock ticks, "
+                    f"compiles {s['attempted']} "
+                    f"({s['cancelled']} cancelled, {s['failed']} failed), "
+                    f"cache {s['cache_hits']} hit / "
+                    f"{s['cache_misses']} miss")
         if name == ":where":
             return ", ".join(f"{k}:{v}" for k, v in
                              self.runtime.engine_locations().items())
+        if name == ":stats":
+            s = self.runtime.compiler.stats()
+            host = s["host_seconds"]
+            lines = [
+                f"compiles: {s['attempted']} attempted, "
+                f"{s['failed']} failed, {s['cancelled']} cancelled, "
+                f"{s['in_flight']} in flight",
+                f"bitstream cache: {s['cache_hits']} hit / "
+                f"{s['cache_misses']} miss "
+                f"({s['bitstream_cache']['entries']} entries)",
+                f"placement cache: {s['warm_starts']} warm starts "
+                f"({s['placement_cache']['entries']} entries)",
+                "host seconds: " + ", ".join(
+                    f"{k.rsplit('_', 1)[0]} {v:.3f}"
+                    for k, v in sorted(host.items())),
+                f"hw migrations: {self.runtime.hw_migrations}",
+            ]
+            return "\n".join(lines)
         return f"unknown command {name!r}"
 
     def interact(self, stdin=None, stdout=None) -> None:

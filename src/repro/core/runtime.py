@@ -344,8 +344,14 @@ class Runtime:
             if self._job_generation.get(id(job)) != self.generation:
                 continue
             if job.compiled is None:
-                self.unsynthesizable[job.subprogram.name] = \
-                    job.error or "compilation failed"
+                # §6.4: a program that is correct in simulation can
+                # still fail the later phases of JIT compilation; the
+                # user must hear about it, not lose it silently.
+                error = job.error or "compilation failed"
+                self.unsynthesizable[job.subprogram.name] = error
+                self.view.info(f"[cascade] compilation of "
+                               f"{job.subprogram.name} failed: {error} "
+                               f"(staying in software)")
                 continue
             self._swap_to_hardware(job)
         self._maybe_enter_open_loop()
@@ -498,9 +504,9 @@ class Runtime:
         if hasattr(hw, "set_time"):
             hw.set_time(self.iterations // 2)
         if self.enable_jit:
-            for job in self.compiler.completed(
-                    self.time_model.now_seconds):
-                pass  # nothing left to migrate in open loop
+            # Nothing is left to migrate in open loop, but completions
+            # (and especially failures) must still be drained/surfaced.
+            self._poll_jit()
 
     # ------------------------------------------------------------------
     # Drivers

@@ -1,0 +1,338 @@
+"""The asynchronous compile service, the content-addressed bitstream
+cache, and warm-start placement."""
+
+import threading
+import time
+
+import pytest
+
+import repro.backend.compiler as compiler_mod
+from repro.backend.cache import (BitstreamCache, PlacementCache,
+                                 design_cache_key)
+from repro.backend.compilequeue import CompileQueue
+from repro.backend.compiler import CompileJob, CompileService
+from repro.backend.flow import run_flow
+from repro.core.runtime import Runtime
+from repro.ir.build import Subprogram
+from repro.verilog.elaborate import elaborate_leaf
+from repro.verilog.parser import parse_module
+
+COUNTER = """
+module counter(input wire clk, input wire rst, output wire [7:0] out);
+  reg [7:0] q = 0;
+  always @(posedge clk)
+    if (rst) q <= 0;
+    else q <= q + 1;
+  assign out = q;
+endmodule
+"""
+
+ALU = """
+module alu(input wire clk, input wire [15:0] a, input wire [15:0] b,
+           input wire [1:0] op, output wire [15:0] out);
+  reg [15:0] r = 0;
+  always @(posedge clk)
+    case (op)
+      2'd0: r <= a + b;
+      2'd1: r <= a - b;
+      2'd2: r <= a & b;
+      default: r <= a ^ b;
+    endcase
+  assign out = r;
+endmodule
+"""
+
+# Small enough to meet 50 MHz timing closure through the real flow.
+ALU8 = """
+module alu8(input wire clk, input wire [7:0] a, input wire [7:0] b,
+            input wire op, output wire [7:0] out);
+  reg [7:0] r = 0;
+  always @(posedge clk)
+    if (op) r <= a & b;
+    else r <= a ^ b;
+  assign out = r;
+endmodule
+"""
+
+
+def sub_of(text, name="t"):
+    module = parse_module(text)
+    return Subprogram(name, module, False, module.name, {})
+
+
+class TestAsyncSubmission:
+    def test_submit_does_not_run_compilation_on_caller_thread(self):
+        """submit() must be O(front-end) host time: the slow work
+        (codegen + the real flow) happens on the worker pool."""
+        service = CompileService(full_flow_max_luts=10_000,
+                                 queue=CompileQueue(max_workers=1))
+        sub = sub_of(ALU)
+        t0 = time.perf_counter()
+        job = service.submit(sub, now_s=0.0)
+        submit_s = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        _ = job.resources  # waits for the worker
+        total_s = submit_s + (time.perf_counter() - t1)
+        # The front-end is a small fraction of the whole compile.
+        assert submit_s < total_s / 3
+        host = service.stats()["host_seconds"]
+        assert host["codegen_s"] + host["flow_s"] > host["submit_s"]
+
+    def test_results_deterministic_under_concurrent_submission(self):
+        """A burst of concurrent compiles produces bit-identical
+        artifacts to compiling serially on the caller's thread."""
+        designs = [COUNTER, ALU8,
+                   COUNTER.replace("counter", "counter2"),
+                   ALU8.replace("alu8", "alu9")]
+        concurrent = CompileService(full_flow_max_luts=10_000,
+                                    queue=CompileQueue(max_workers=4))
+        serial = CompileService(full_flow_max_luts=10_000,
+                                queue=CompileQueue(max_workers=0))
+        jobs_c = [concurrent.submit(sub_of(d, f"s{i}"), 0.0)
+                  for i, d in enumerate(designs)]
+        jobs_s = [serial.submit(sub_of(d, f"s{i}"), 0.0)
+                  for i, d in enumerate(designs)]
+        for jc, js in zip(jobs_c, jobs_s):
+            assert jc.compiled is not None and js.compiled is not None
+            assert jc.compiled.source == js.compiled.source
+            assert jc.resources == js.resources
+            assert jc.duration_s == js.duration_s
+            assert jc.error is None and js.error is None
+
+    def test_cancel_while_in_flight(self):
+        """cancel_all() cancels queued futures and poisons the job."""
+        gate = threading.Event()
+        queue = CompileQueue(max_workers=1)
+        queue.submit(gate.wait)  # occupy the single worker
+        service = CompileService(queue=queue)
+        job = service.submit(sub_of(COUNTER), now_s=0.0)
+        assert not job.delivered
+        service.cancel_all()
+        gate.set()
+        assert service.jobs == []
+        assert service.compiles_cancelled == 1
+        assert service.completed(1e9) == []
+        assert job.compiled is None
+        assert "cancelled" in job.error
+
+    def test_virtual_timeline_identical_across_runs(self):
+        """Host-side asynchrony must not leak into virtual time: two
+        fresh runtimes replaying the same program agree exactly."""
+        source = """
+reg [7:0] n = 0;
+always @(posedge clk.val) n <= n + 1;
+assign led.val = n;
+"""
+        def run_once():
+            service = CompileService()
+            service.model.base_s = 0.002
+            service.model.per_lut = 0.0
+            rt = Runtime(compile_service=service,
+                         enable_open_loop=False)
+            rt.eval_source(source)
+            rt.run(iterations=3000)
+            return (rt.time_model.now_ns, rt.hw_migrations,
+                    rt.board.leds.value)
+
+        assert run_once() == run_once()
+
+
+class TestBitstreamCache:
+    def test_second_compile_is_a_hit(self):
+        service = CompileService()
+        job1 = service.submit(sub_of(COUNTER), now_s=0.0)
+        assert job1.compiled is not None
+        job2 = service.submit(sub_of(COUNTER), now_s=100.0)
+        assert service.cache_hits == 1
+        assert service.cache_misses == 1
+        assert job2.cache_hit
+        assert job2.compiled is job1.compiled
+        # Cache hits cost only the constant reprogramming latency.
+        assert job2.duration_s == service.cache_hit_latency_s
+        assert job2.duration_s < job1.duration_s
+
+    def test_instrumented_and_native_are_distinct_entries(self):
+        service = CompileService()
+        j_inst = service.submit(sub_of(COUNTER), 0.0, instrumented=True)
+        j_nat = service.submit(sub_of(COUNTER), 0.0, instrumented=False)
+        assert service.cache_misses == 2 and service.cache_hits == 0
+        assert j_inst.resources["luts"] > j_nat.resources["luts"]
+        # Each mode hits its own entry on resubmission.
+        service.submit(sub_of(COUNTER), 0.0, instrumented=True)
+        service.submit(sub_of(COUNTER), 0.0, instrumented=False)
+        assert service.cache_hits == 2
+
+    def test_hit_skips_host_work(self):
+        service = CompileService(full_flow_max_luts=10_000)
+        job1 = service.submit(sub_of(ALU8), now_s=0.0)
+        assert job1.compiled is not None
+        t0 = time.perf_counter()
+        job2 = service.submit(sub_of(ALU8), now_s=0.0)
+        assert job2.compiled is not None
+        warm_s = time.perf_counter() - t0
+        host = service.stats()["host_seconds"]
+        # The second submit did no codegen/flow at all.
+        assert job2._future is None
+        assert warm_s < host["codegen_s"] + host["flow_s"] + 0.05
+        assert job2.resources == job1.resources
+
+    def test_cached_model_still_works(self):
+        """A rehydrated/cached artifact instantiates a working model."""
+        service = CompileService()
+        service.submit(sub_of(COUNTER), 0.0).compiled  # populate
+        job = service.submit(sub_of(COUNTER), 0.0)
+        model = job.compiled.instantiate()
+        model.v_clk = 0
+        model.evaluate()
+        for _ in range(6):
+            model.v_clk ^= 1
+            model.evaluate()
+            while model._nba:
+                model.update()
+                model.evaluate()
+        assert model.v_q == 3
+
+    def test_disk_layer_survives_service_restart(self, tmp_path):
+        cold = CompileService(
+            cache=BitstreamCache(disk_dir=str(tmp_path)))
+        job1 = cold.submit(sub_of(COUNTER), 0.0)
+        assert job1.compiled is not None
+        warm = CompileService(
+            cache=BitstreamCache(disk_dir=str(tmp_path)))
+        job2 = warm.submit(sub_of(COUNTER), 0.0)
+        assert warm.cache_hits == 1
+        assert warm.cache.disk_hits == 1
+        assert job2.resources == job1.resources
+        model = job2.compiled.instantiate()
+        model.v_clk = 0
+        model.evaluate()
+        model.v_clk = 1
+        model.evaluate()
+        while model._nba:
+            model.update()
+            model.evaluate()
+        assert model.v_q == 1
+
+    def test_lru_eviction(self):
+        cache = BitstreamCache(capacity=2)
+        service = CompileService(cache=cache)
+        service.submit(sub_of(COUNTER), 0.0).compiled
+        service.submit(sub_of(ALU), 0.0).compiled
+        service.submit(
+            sub_of(COUNTER.replace("counter", "c3")), 0.0).compiled
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The oldest entry (COUNTER) was evicted: resubmit misses.
+        service.submit(sub_of(COUNTER), 0.0)
+        assert service.cache_hits == 0
+
+    def test_key_covers_configuration(self):
+        base = design_cache_key("module m; endmodule", True, "auto", 0)
+        assert base != design_cache_key("module m; endmodule", False,
+                                        "auto", 0)
+        assert base != design_cache_key("module m; endmodule", True,
+                                        "CycloneV-SoC", 0)
+        assert base != design_cache_key("module m; endmodule", True,
+                                        "auto", 500)
+        assert base == design_cache_key("module m; endmodule", True,
+                                        "auto", 0)
+
+
+class TestFailureDelivery:
+    def test_failed_jobs_are_returned_by_completed(self, monkeypatch):
+        """Regression: FAILED jobs used to be marked delivered without
+        ever being returned, so nobody could see the error."""
+        def boom(design, class_name="CompiledModel"):
+            raise RuntimeError("toolchain exploded")
+
+        monkeypatch.setattr(compiler_mod, "compile_design", boom)
+        service = CompileService(latency_scale=0.0)
+        job = service.submit(sub_of(COUNTER), now_s=0.0)
+        done = service.completed(0.0)
+        assert done == [job]
+        assert job.state(0.0) == CompileJob.FAILED
+        assert job.compiled is None
+        assert "toolchain exploded" in job.error
+        assert service.compiles_failed == 1
+
+    def test_runtime_surfaces_compile_failure(self, monkeypatch):
+        def boom(design, class_name="CompiledModel"):
+            raise RuntimeError("toolchain exploded")
+
+        monkeypatch.setattr(compiler_mod, "compile_design", boom)
+        rt = Runtime(compile_service=CompileService(latency_scale=0.0))
+        rt.eval_source("""
+reg [3:0] a = 0;
+always @(posedge clk.val) a <= a + 1;
+assign led.val = a;
+""")
+        rt.run(iterations=50)
+        assert rt.user_engine_location() == "software"
+        assert any("toolchain exploded" in msg
+                   for msg in rt.unsynthesizable.values())
+
+    def test_failures_deliver_at_virtual_ready_time(self, monkeypatch):
+        """Failure is discovered when the (virtual) compile finishes,
+        not at submission — §6.4's late-failure observation."""
+        def boom(design, class_name="CompiledModel"):
+            raise RuntimeError("no fit")
+
+        monkeypatch.setattr(compiler_mod, "compile_design", boom)
+        service = CompileService()
+        job = service.submit(sub_of(COUNTER), now_s=0.0)
+        assert service.completed(job.duration_s - 1.0) == []
+        assert service.completed(job.duration_s + 1.0) == [job]
+
+
+class TestWarmStartPlacement:
+    def test_flow_warm_starts_from_cached_placement(self):
+        cache = PlacementCache()
+        design = elaborate_leaf(parse_module(ALU))
+        cold = run_flow(design, placement_cache=cache)
+        assert not cold.placement.warm_started
+        warm = run_flow(design, placement_cache=cache)
+        assert warm.placement.warm_started
+        # Reduced effort: far fewer annealing moves...
+        assert warm.placement.moves_tried < cold.placement.moves_tried
+        # ...without giving up solution quality.
+        assert warm.placement.cost <= cold.placement.cost * 1.25
+        assert warm.routing.routed
+
+    def test_service_counts_warm_starts(self):
+        """A cached placement for the same netlist shape warm-starts
+        the placer even when the bitstream cache misses (here: two
+        services sharing a placement cache, e.g. across sessions)."""
+        shared = PlacementCache()
+        s1 = CompileService(full_flow_max_luts=10_000,
+                            placements=shared)
+        s2 = CompileService(full_flow_max_luts=10_000,
+                            placements=shared)
+        assert s1.submit(sub_of(ALU8), 0.0).compiled is not None
+        assert s1.warm_starts == 0
+        assert s2.submit(sub_of(ALU8), 0.0).compiled is not None
+        assert s2.warm_starts == 1
+        assert shared.hits == 1
+
+
+class TestServiceStats:
+    def test_stats_shape(self):
+        service = CompileService()
+        service.submit(sub_of(COUNTER), 0.0).compiled
+        service.submit(sub_of(COUNTER), 0.0)
+        s = service.stats()
+        assert s["attempted"] == 2
+        assert s["cache_hits"] == 1 and s["cache_misses"] == 1
+        assert s["cancelled"] == 0
+        assert set(s["host_seconds"]) >= {"submit_s", "codegen_s",
+                                          "flow_s", "wait_s"}
+        assert s["bitstream_cache"]["entries"] == 1
+
+    def test_repl_reports_compile_stats(self):
+        from repro.core.repl import Repl
+        repl = Repl(Runtime())
+        line = repl.command(":time")
+        assert "virtual time" in line
+        assert "cache" in line and "compiles" in line
+        stats = repl.command(":stats")
+        assert "bitstream cache" in stats
+        assert "host seconds" in stats
