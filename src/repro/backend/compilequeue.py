@@ -29,7 +29,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Optional
 
-__all__ = ["CompileQueue", "shared_queue"]
+__all__ = ["CompileQueue", "shared_queue", "shared_fast_queue"]
 
 
 def _default_workers() -> int:
@@ -45,9 +45,11 @@ class CompileQueue:
     submit site) and for comparing against the synchronous baseline.
     """
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None,
+                 name: str = "cascade-compile"):
         self.max_workers = _default_workers() if max_workers is None \
             else max_workers
+        self.name = name
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self.submitted = 0
@@ -58,7 +60,7 @@ class CompileQueue:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers,
-                    thread_name_prefix="cascade-compile")
+                    thread_name_prefix=self.name)
             return self._executor
 
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
@@ -86,6 +88,7 @@ class CompileQueue:
 
 
 _shared: Optional[CompileQueue] = None
+_shared_fast: Optional[CompileQueue] = None
 _shared_lock = threading.Lock()
 
 
@@ -96,3 +99,19 @@ def shared_queue() -> CompileQueue:
         if _shared is None:
             _shared = CompileQueue()
         return _shared
+
+
+def shared_fast_queue() -> CompileQueue:
+    """The process-wide *fast lane*: a small dedicated pool for
+    millisecond-budget jobs (the software fast path's local pycompile).
+
+    Keeping these off :func:`shared_queue` matters because that pool is
+    routinely saturated for minutes by synth/place/route work; a fast
+    lane guarantees the second JIT tier lands in milliseconds even
+    while a heavyweight fabric compile is in flight."""
+    global _shared_fast
+    with _shared_lock:
+        if _shared_fast is None:
+            _shared_fast = CompileQueue(max_workers=2,
+                                        name="cascade-fastpath")
+        return _shared_fast

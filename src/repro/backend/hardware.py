@@ -20,13 +20,14 @@ import re
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..common.bits import Bits
-from ..core.abi import HARDWARE, CollectedTasks, Engine, EngineTask
+from ..core.abi import HARDWARE, SOFTWARE, CollectedTasks, Engine, \
+    EngineTask
 from ..interp.fmt import format_display
 from ..ir.build import Subprogram
 from ..verilog.elaborate import Design
 from .pycompile import CompiledDesign
 
-__all__ = ["HardwareEngine"]
+__all__ = ["HardwareEngine", "FastSoftwareEngine"]
 
 
 def _attr(name: str) -> str:
@@ -168,8 +169,7 @@ class HardwareEngine(CollectedTasks, Engine):
     def set_time(self, time: int) -> None:
         self.model._time = time
         for inner in self.inner:
-            if hasattr(inner, "set_time"):
-                inner.set_time(time)
+            inner.set_time(time)
 
     # ------------------------------------------------------------------
     # Tasks
@@ -293,8 +293,7 @@ class HardwareEngine(CollectedTasks, Engine):
                 if not (done & 1):
                     model._time += 1
                 for inner in self.inner:
-                    if hasattr(inner, "set_time"):
-                        inner.set_time(model._time)
+                    inner.set_time(model._time)
                 self._collect_tasks()
                 if self.has_tasks:
                     break
@@ -309,3 +308,68 @@ class HardwareEngine(CollectedTasks, Engine):
 
     def __repr__(self) -> str:
         return f"HardwareEngine({self.subprogram.name})"
+
+
+class FastSoftwareEngine(HardwareEngine):
+    """The middle JIT tier: the compiled model running *as software*.
+
+    Structurally identical to a hardware engine — it wraps the same
+    compiled-Python model behind the same ABI — but it executes on the
+    host's software budget, so the performance model charges it at
+    software rates and every data-plane message stays heap-local.  The
+    point is host wall-clock: the compiled model is one to two orders
+    of magnitude faster per host second than the event-driven
+    interpreter, and this tier makes that speed available milliseconds
+    after admission, long before the fabric flow finishes.
+
+    Virtual time must be **bit-identical** to the interpreter, so input
+    writes and nonblocking updates raise the model's dirty flag only
+    for changes the interpreter's sensitivity machinery would also have
+    activated on (``CompiledDesign.comb_wake`` / ``edge_wake``); the
+    ``_gate_wakes`` flag enables the matching gate inside the generated
+    ``update``.  Forwarding and open-loop scheduling remain
+    hardware-only optimisations — their payoff is avoiding the MMIO
+    boundary, which this tier does not have.
+    """
+
+    location = SOFTWARE
+
+    def __init__(self, subprogram: Subprogram, compiled: CompiledDesign):
+        super().__init__(subprogram, compiled)
+        self.model._gate_wakes = True
+
+    def write(self, port: str, value: Bits) -> None:
+        self._events += 1
+        var = self.design.vars[port]
+        v = value.to_int_xz(0) & ((1 << var.width) - 1)
+        attr = _attr(port)
+        model = self.model
+        old = getattr(model, attr)
+        if old == v:
+            return
+        setattr(model, attr, v)
+        if self.compiled.wakes_on(port, old, v):
+            model._dirty = True
+        elif port in self.compiled.edge_wake:
+            # A transition matching no registered edge activates
+            # nothing; keep the previous sample in sync (as _seq would
+            # have) so the next matching edge is still detected.
+            setattr(model, "p_" + attr, v)
+
+    def sync_edge_samples(self) -> None:
+        """Align edge-detection samples with current values, so the
+        post-handover settle cannot fire edges the interpreter already
+        consumed."""
+        model = self.model
+        for sig in self.compiled.edge_signals:
+            attr = _attr(sig)
+            setattr(model, "p_" + attr, getattr(model, attr))
+
+    def supports_forwarding(self) -> bool:
+        return False
+
+    def supports_open_loop(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"FastSoftwareEngine({self.subprogram.name})"

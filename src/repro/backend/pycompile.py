@@ -27,7 +27,7 @@ from ..common.errors import SynthesisError
 from ..verilog import ast
 from ..verilog.elaborate import Design, Function, Var
 from ..verilog.eval import natural_size
-from ..interp.engine import read_set_of
+from ..interp.engine import read_set_of, read_set_of_lvalue_indices
 from . import pyrt
 
 __all__ = ["CompiledDesign", "compile_design"]
@@ -44,17 +44,48 @@ def _mask(width: int) -> int:
 
 class CompiledDesign:
     """The output of compilation: source text plus an instantiable
-    model class."""
+    model class.
+
+    ``comb_wake`` and ``edge_wake`` describe the design's *activation*
+    structure, mirroring the interpreter's sensitivity exactly:
+    ``comb_wake`` is the set of names whose value change activates
+    combinational evaluation (continuous-assign dependencies plus
+    comb-always sensitivity lists), and ``edge_wake`` maps each signal
+    appearing in an edge-sensitive event control to the set of edges
+    registered on it.  The software fast path uses them to charge the
+    same number of ABI-level evaluate calls as the interpreter would.
+    """
 
     def __init__(self, design: Design, source: str, model_class,
-                 edge_signals: List[str]):
+                 edge_signals: List[str],
+                 comb_wake: Optional[Set[str]] = None,
+                 edge_wake: Optional[Dict[str, Set[str]]] = None):
         self.design = design
         self.source = source
         self.model_class = model_class
         self.edge_signals = edge_signals
+        self.comb_wake = comb_wake if comb_wake is not None else set()
+        self.edge_wake = edge_wake if edge_wake is not None else {}
 
     def instantiate(self):
         return self.model_class()
+
+    def wakes_on(self, name: str, old: int, new: int) -> bool:
+        """Would the interpreter activate an evaluation event when
+        ``name`` transitions ``old``→``new``?  True when the name feeds
+        combinational logic, or when its LSB transition matches a
+        registered edge."""
+        if name in self.comb_wake:
+            return True
+        edges = self.edge_wake.get(name)
+        if not edges:
+            return False
+        o, n = old & 1, new & 1
+        if o == n:
+            return False
+        if n:
+            return "posedge" in edges
+        return "negedge" in edges
 
 
 class _WidthScope:
@@ -579,10 +610,15 @@ class _StmtCompiler:
         self.e.emit(indent, f"if 0 <= {off} < {nwords}:")
         masked = f"(({value}) & {_mask(var.width)})"
         if blocking:
+            # Change-filtered like the interpreter's _set_word: a
+            # same-value rewrite must not bump the generation counter,
+            # or a self-sensitive comb block never settles.
             self.e.emit(indent + 1,
+                        f"if self.{_attr(name)}[{off}] != {masked}:")
+            self.e.emit(indent + 2,
                         f"self.{_attr(name)}[{off}] = {masked}")
-            self.e.emit(indent + 1, f"self.g_{_attr(name)} += 1")
-            self.c.mark_written(name, self.e, indent + 1)
+            self.e.emit(indent + 2, f"self.g_{_attr(name)} += 1")
+            self.c.mark_written(name, self.e, indent + 2)
         else:
             self.c.nba_array_targets.add(name)
             self.e.emit(indent + 1,
@@ -730,10 +766,40 @@ class _DesignCompiler:
         if design.initials:
             raise SynthesisError("initial blocks cannot be synthesized")
 
+        # Activation structure, mirroring the interpreter's sensitivity
+        # registration (_build_assign_deps / _register_wait) exactly.
+        self.comb_wake: Set[str] = set()
+        for assign in comb_assigns:
+            self.comb_wake |= read_set_of(assign.rhs)
+            self.comb_wake |= read_set_of_lvalue_indices(assign.lhs)
+        for block in comb_blocks:
+            if block.ctrl.star:
+                self.comb_wake |= read_set_of(block.body)
+            else:
+                for item in block.ctrl.items:
+                    self.comb_wake |= read_set_of(item.expr)
+        self.edge_wake: Dict[str, Set[str]] = {}
+        for block in seq_blocks:
+            for item in block.ctrl.items:
+                if isinstance(item.expr, ast.Ident):
+                    self.edge_wake.setdefault(
+                        item.expr.name, set()).add(item.edge)
+
         e = _Emitter()
         e.emit(0, "from repro.backend import pyrt")
         e.blank()
         e.emit(0, f"class {self.class_name}:")
+        # When _gate_wakes is True (the software fast path), update()
+        # raises the dirty flag only for changes the interpreter would
+        # also have activated on, so ABI-level call counts — and hence
+        # virtual-time charges — match the interpreter bit for bit.
+        e.emit(1, "_gate_wakes = False")
+        wake_arrays = sorted(
+            name for name in self.comb_wake
+            if design.vars.get(name) is not None
+            and design.vars[name].is_array)
+        e.emit(1, "_wake_arrays = frozenset((" +
+               ", ".join(repr(n) for n in wake_arrays) + "))")
 
         # Pre-scan for NBA targets so __init__ can declare shadows: we
         # compile bodies into a scratch emitter first.
@@ -760,7 +826,10 @@ class _DesignCompiler:
             for block in seq_blocks
             for item in block.ctrl.items
             if isinstance(item.expr, ast.Ident)})
-        return CompiledDesign(design, source, model_class, edge_signals)
+        return CompiledDesign(design, source, model_class, edge_signals,
+                              comb_wake=set(self.comb_wake),
+                              edge_wake={k: set(v) for k, v
+                                         in self.edge_wake.items()})
 
     # ------------------------------------------------------------------
     def _emit_init(self, e: _Emitter,
@@ -1001,9 +1070,36 @@ class _DesignCompiler:
         e.blank()
         e.emit(1, "def update(self):")
         e.emit(2, "changed = False")
+        e.emit(2, "wake = False")
         for name in sorted(self.nba_targets):
             attr = _attr(name)
             e.emit(2, f"if self.{attr} != self.n_{attr}:")
+            edges = self.edge_wake.get(name)
+            if name in self.comb_wake:
+                e.emit(3, "wake = True")
+            elif edges:
+                # Edge-only signal: activation requires the LSB
+                # transition to match a registered edge.  When it does
+                # not, keep the previous-sample variable in sync so a
+                # later matching edge is still detected (_seq will not
+                # run for this change).
+                if len(edges) == 2:
+                    e.emit(3, f"if (self.{attr} ^ self.n_{attr}) & 1:")
+                    e.emit(4, "wake = True")
+                    e.emit(3, "else:")
+                    e.emit(4, f"self.p_{attr} = self.n_{attr}")
+                elif "posedge" in edges:
+                    e.emit(3, f"if (self.{attr} & 1) == 0 and "
+                           f"(self.n_{attr} & 1) == 1:")
+                    e.emit(4, "wake = True")
+                    e.emit(3, "else:")
+                    e.emit(4, f"self.p_{attr} = self.n_{attr}")
+                else:
+                    e.emit(3, f"if (self.{attr} & 1) == 1 and "
+                           f"(self.n_{attr} & 1) == 0:")
+                    e.emit(4, "wake = True")
+                    e.emit(3, "else:")
+                    e.emit(4, f"self.p_{attr} = self.n_{attr}")
             e.emit(3, f"self.{attr} = self.n_{attr}")
             e.emit(3, "changed = True")
         e.emit(2, "if self._nba_words:")
@@ -1012,11 +1108,13 @@ class _DesignCompiler:
         e.emit(4, "if _arr[_off] != _val:")
         e.emit(5, "_arr[_off] = _val")
         e.emit(5, "changed = True")
+        e.emit(5, "if _name in self._wake_arrays:")
+        e.emit(6, "wake = True")
         for name in sorted(self.nba_array_targets):
             e.emit(3, f"self.g_{_attr(name)} += 1")
         e.emit(3, "self._nba_words = []")
         e.emit(2, "self._nba = False")
-        e.emit(2, "if changed:")
+        e.emit(2, "if changed and (wake or not self._gate_wakes):")
         e.emit(3, "self._dirty = True")
         e.emit(2, "return changed")
         e.blank()

@@ -83,12 +83,26 @@ class Bits:
     # ------------------------------------------------------------------
     @classmethod
     def from_int(cls, value: int, width: int, signed: bool = False) -> "Bits":
-        """Build a fully-known vector from a Python int (two's complement)."""
-        return cls(width, value & _mask(width), 0, signed)
+        """Build a fully-known vector from a Python int (two's complement).
+
+        Small values of common widths are interned: Bits is immutable
+        (and shared freely — see ``__copy__``), so the counters, flags
+        and literals that dominate simulation traffic all resolve to the
+        same few hundred objects instead of being re-allocated on every
+        event.
+        """
+        v = value & _mask(width)
+        if v < 256 and width <= 64:
+            key = (v, width, signed)
+            cached = _interned.get(key)
+            if cached is None:
+                cached = _interned[key] = cls(width, v, 0, signed)
+            return cached
+        return cls(width, v, 0, signed)
 
     @classmethod
     def zeros(cls, width: int) -> "Bits":
-        return cls(width, 0, 0)
+        return cls.from_int(0, width)
 
     @classmethod
     def ones(cls, width: int) -> "Bits":
@@ -96,8 +110,13 @@ class Bits:
 
     @classmethod
     def xes(cls, width: int) -> "Bits":
-        m = _mask(width)
-        return cls(width, m, m)
+        cached = _interned_xes.get(width)
+        if cached is None:
+            m = _mask(width)
+            cached = cls(width, m, m)
+            if width <= 64:
+                _interned_xes[width] = cached
+        return cached
 
     @classmethod
     def zs(cls, width: int) -> "Bits":
@@ -106,7 +125,7 @@ class Bits:
     @classmethod
     def bool_(cls, value) -> "Bits":
         """A 1-bit 0/1 from a Python truthy value."""
-        return cls(1, 1 if value else 0, 0)
+        return _TRUE if value else _FALSE
 
     # ------------------------------------------------------------------
     # Inspection
@@ -647,6 +666,14 @@ class Bits:
         care = ~wild & m
         return (self.aval & care) == (pattern.aval & care) and \
             (self.bval & care) == (pattern.bval & care)
+
+
+# Intern tables for from_int / xes (bounded: values < 256, widths
+# <= 64) and the two 1-bit logical results.
+_interned: dict = {}
+_interned_xes: dict = {}
+_FALSE = Bits(1, 0, 0)
+_TRUE = Bits(1, 1, 0)
 
 
 # ----------------------------------------------------------------------

@@ -107,6 +107,12 @@ class Engine(abc.ABC):
         """Optional: called between time steps, when the interrupt queue
         is empty (how the standard clock re-queues its tick)."""
 
+    def set_time(self, time: int) -> None:
+        """Inform the engine of the current logical time (drives $time
+        and delayed-process wake-ups).  Engines with no notion of time
+        ignore it — part of the ABI so the scheduler never has to probe
+        with hasattr on its hot path."""
+
     def end(self) -> None:
         """Optional: called once at shutdown."""
 

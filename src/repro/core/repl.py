@@ -76,12 +76,16 @@ class Repl:
             return f"ran {count} iterations"
         if name == ":time":
             s = self.runtime.compiler.stats()
+            tiers = self.runtime.time_model.tier_events
             return (f"virtual time {self.runtime.time_model.now_seconds:.6f}s, "
                     f"{self.runtime.virtual_clock_ticks} clock ticks, "
                     f"compiles {s['attempted']} "
                     f"({s['cancelled']} cancelled, {s['failed']} failed), "
                     f"cache {s['cache_hits']} hit / "
-                    f"{s['cache_misses']} miss")
+                    f"{s['cache_misses']} miss, "
+                    f"events {tiers['interpreted']} interpreted / "
+                    f"{tiers['sw-fast']} sw-fast / "
+                    f"{tiers['hardware']} hardware")
         if name == ":where":
             return ", ".join(f"{k}:{v}" for k, v in
                              self.runtime.engine_locations().items())
@@ -100,8 +104,23 @@ class Repl:
                 "host seconds: " + ", ".join(
                     f"{k.rsplit('_', 1)[0]} {v:.3f}"
                     for k, v in sorted(host.items())),
-                f"hw migrations: {self.runtime.hw_migrations}",
             ]
+            rt = self.runtime
+            counts = rt.tier_counts()
+            tiers = rt.time_model.tier_events
+            lines.append(
+                f"engine tiers: {counts['interpreted']} interpreted, "
+                f"{counts['sw-fast']} sw-fast, "
+                f"{counts['hardware']} hardware, "
+                f"{counts['stdlib']} stdlib")
+            lines.append(
+                f"tier events: {tiers['interpreted']} interpreted, "
+                f"{tiers['sw-fast']} sw-fast, "
+                f"{tiers['hardware']} hardware")
+            lines.append(
+                f"migrations: {rt.sw_migrations} sw-fast, "
+                f"{rt.hw_migrations} hardware; "
+                f"fast-path compile failures: {rt.fastpath_failures}")
             return "\n".join(lines)
         return f"unknown command {name!r}"
 

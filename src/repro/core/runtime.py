@@ -20,10 +20,13 @@ which eval'ing new code cannot produce undefined behaviour (§3.4).
 from __future__ import annotations
 
 import time as _time
+from concurrent.futures import Future
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..backend.compilequeue import shared_fast_queue
 from ..backend.compiler import CompileService
-from ..backend.hardware import HardwareEngine
+from ..backend.hardware import FastSoftwareEngine, HardwareEngine
+from ..backend.pycompile import compile_design
 from ..common.bits import Bits
 from ..common.errors import CascadeError, SynthesisError
 from ..interp.engine import read_set_of
@@ -83,6 +86,7 @@ class Runtime:
                  compile_service: Optional[CompileService] = None,
                  inline_user_logic: bool = True,
                  enable_jit: bool = True,
+                 enable_sw_fastpath: bool = True,
                  enable_forwarding: bool = True,
                  enable_open_loop: bool = True,
                  implicit_stdlib: bool = True,
@@ -92,6 +96,7 @@ class Runtime:
         self.compiler = compile_service or CompileService()
         self.inline_user_logic = inline_user_logic
         self.enable_jit = enable_jit
+        self.enable_sw_fastpath = enable_sw_fastpath
         self.enable_forwarding = enable_forwarding
         self.enable_open_loop = enable_open_loop
         self.view = View(echo)
@@ -117,7 +122,16 @@ class Runtime:
         self._open_loop_active = False
         self._job_generation: Dict[int, int] = {}
         self.hw_migrations = 0
+        self.sw_migrations = 0
+        self.fastpath_failures = 0
         self.unsynthesizable: Dict[str, str] = {}
+        # The middle JIT tier: in-flight local pycompile jobs, keyed by
+        # subprogram name.  Values are (generation, future); the
+        # generation guard (the same discipline _job_generation applies
+        # to fabric jobs) makes a stale model impossible to swap in.
+        self._fast_jobs: Dict[str, Tuple[int, "Future"]] = {}
+        self._fast_queue = shared_fast_queue()
+        self._engines_cache: Optional[List[Tuple[str, Engine]]] = None
 
     # ------------------------------------------------------------------
     # Program construction
@@ -201,6 +215,7 @@ class Runtime:
         self.program = program
         self.engines = engines
         self.absorbed = set()
+        self._engines_cache = None
         self._open_loop_active = False
         self._oloop_limit = _OLOOP_MIN
         self._oloop_exec_cap = _OLOOP_REAL_CAP
@@ -238,6 +253,13 @@ class Runtime:
         # Restart the JIT for every user subprogram (§4.4: engines move
         # back to software and the process starts anew on modification).
         self.compiler.cancel_all()
+        # In-flight fast-path compiles target the *previous* generation
+        # of the program: cancel what is still queued and drop the rest
+        # — the generation guard in _poll_fastpath discards any result
+        # that slips through, so a stale model is never swapped in.
+        for _gen, future in self._fast_jobs.values():
+            self._fast_queue.cancel(future)
+        self._fast_jobs.clear()
         self.unsynthesizable = {}
         if self.enable_jit:
             for sub in program.user_subprograms():
@@ -248,14 +270,37 @@ class Runtime:
                     self._job_generation[id(job)] = self.generation
                 except SynthesisError as exc:
                     self.unsynthesizable[sub.name] = str(exc)
+            if self.enable_sw_fastpath:
+                self._submit_fastpath(program)
         self._needs_rebuild = False
+
+    def _submit_fastpath(self, program: IRProgram) -> None:
+        """Kick off the middle JIT tier: a local, milliseconds-budget
+        pycompile of each synthesizable user subprogram, on a dedicated
+        pool so it never queues behind synth/place/route."""
+        for sub in program.user_subprograms():
+            if sub.name in self.unsynthesizable:
+                continue
+            engine = self.engines[sub.name]
+            if not isinstance(engine, SoftwareEngineAdapter):
+                continue
+            future = self._fast_queue.submit(
+                compile_design, engine.design)
+            self._fast_jobs[sub.name] = (self.generation, future)
 
     # ------------------------------------------------------------------
     # The Figure 6 scheduler
     # ------------------------------------------------------------------
     def _active_engines(self) -> List[Tuple[str, Engine]]:
-        return [(name, e) for name, e in self.engines.items()
-                if name not in self.absorbed]
+        # Scheduler hot path: the engine set only changes on rebuild,
+        # migration, forwarding or absorption, all of which clear the
+        # cache — everything else reuses this list.
+        cache = self._engines_cache
+        if cache is None:
+            cache = [(name, e) for name, e in self.engines.items()
+                     if name not in self.absorbed]
+            self._engines_cache = cache
+        return cache
 
     def _drain_tasks(self) -> None:
         for name, engine in self._active_engines():
@@ -296,7 +341,11 @@ class Runtime:
             self.time_model.charge_mmio()
             self.time_model.charge_hw_ticks(1)
         else:
-            self.time_model.charge_sw_events(1)
+            # The fast path is charged at software rates (by default the
+            # interpreter's own rate — DESIGN.md §4.4) but tallied under
+            # its own tier so :stats can show where events ran.
+            self.time_model.charge_sw_events(
+                1, fast=isinstance(engine, FastSoftwareEngine))
 
     def _window(self) -> None:
         """Between time steps: service interrupts, apply evals, poll the
@@ -313,9 +362,9 @@ class Runtime:
                 interrupt.payload()
         self.iterations += 1
         self.time_model.charge_runtime()
+        logical_time = self.iterations // 2
         for name, engine in self._active_engines():
-            if hasattr(engine, "set_time"):
-                engine.set_time(self.iterations // 2)
+            engine.set_time(logical_time)
             engine.end_step()
         if self.plane is not None:
             self.plane.propagate(self.engines, self.absorbed)
@@ -326,6 +375,13 @@ class Runtime:
             self._needs_rebuild = True
         if self.enable_jit:
             self._poll_jit()
+        if self._fast_jobs:
+            # After the phase loop every engine is quiescent, so this
+            # window is the safe point for the software-tier hot swap.
+            # Polled after _poll_jit so that when a bitstream and a
+            # fast-path compile land in the same window the fabric
+            # wins and the fast-path job is simply dropped.
+            self._poll_fastpath()
 
     def _iteration(self, fast_forward: bool = False) -> None:
         if self._needs_rebuild:
@@ -339,6 +395,69 @@ class Runtime:
     # ------------------------------------------------------------------
     # JIT: engine replacement, forwarding, open loop
     # ------------------------------------------------------------------
+    def _poll_fastpath(self) -> None:
+        """Install the software fast path for any subprogram whose local
+        pycompile has finished.  A failed compile degrades silently back
+        to the interpreter — this tier is a pure optimisation and must
+        never surface an error the interpreter would not have raised."""
+        for name in list(self._fast_jobs):
+            gen, future = self._fast_jobs[name]
+            if gen != self.generation:
+                del self._fast_jobs[name]
+                continue
+            if not future.done():
+                continue
+            engine = self.engines.get(name)
+            if not isinstance(engine, SoftwareEngineAdapter):
+                # Already migrated past this tier (e.g. straight to
+                # hardware); the model is no longer wanted.
+                del self._fast_jobs[name]
+                continue
+            if engine.there_are_evals() or engine.there_are_updates():
+                # Not quiescent: the handover must not consume or
+                # duplicate pending events.  Retry next window.
+                continue
+            del self._fast_jobs[name]
+            try:
+                compiled = future.result()
+            except Exception:
+                self.fastpath_failures += 1
+                continue
+            try:
+                self._swap_to_fastpath(name, compiled)
+            except Exception:
+                self.fastpath_failures += 1
+
+    def _swap_to_fastpath(self, name: str, compiled) -> None:
+        old = self.engines[name]
+        sub = self.program.subprograms[name]
+        fast = FastSoftwareEngine(sub, compiled)
+        fast.set_state(old.get_state())
+        for port, (net, direction) in sub.bindings.items():
+            if direction == "in":
+                value = self.plane.values.get(net)
+                if value is not None and not value.has_xz:
+                    fast.write(port, value)
+        # The handover settle mirrors _swap_to_hardware, with one extra
+        # precaution: combinational logic is settled *before* edge
+        # samples are aligned, so a derived signal (e.g. an internal
+        # clock wire assigned from an input port) reaches its live value
+        # first and the sequential pass cannot re-fire edges the
+        # interpreter has already consumed.  The settle's side effects
+        # are discarded — virtual time and the $display stream must be
+        # exactly what an interpreter-only run would have produced.
+        fast.model._eval_comb()
+        fast.sync_edge_samples()
+        fast.model._dirty = True
+        fast.evaluate()
+        fast.drain_tasks()
+        fast.drain_output_changes()
+        self.engines[name] = fast
+        self._engines_cache = None
+        self.sw_migrations += 1
+        self.view.info(f"[cascade] {name} switched to compiled "
+                       f"software fast path")
+
     def _poll_jit(self) -> None:
         for job in self.compiler.completed(self.time_model.now_seconds):
             if self._job_generation.get(id(job)) != self.generation:
@@ -374,6 +493,7 @@ class Runtime:
         hw.evaluate()
         hw.drain_tasks()
         self.engines[name] = hw
+        self._engines_cache = None
         self.hw_migrations += 1
         self.view.info(f"[cascade] {name} migrated to hardware "
                        f"({job.resources['luts']} LUTs, "
@@ -406,6 +526,7 @@ class Runtime:
                 continue
             hw.forward(inner)
             self.absorbed.add(other.name)
+            self._engines_cache = None
             self.view.info(f"[cascade] {other.name} forwarded into "
                            f"{sub.name}")
 
@@ -417,7 +538,10 @@ class Runtime:
             return
         sub = users[0]
         hw = self.engines.get(sub.name)
-        if not isinstance(hw, HardwareEngine):
+        if not isinstance(hw, HardwareEngine) or \
+                hw.location != HARDWARE:
+            # The software fast path shares the HardwareEngine model but
+            # open loop is a fabric-only optimisation (§4.4).
             return
         # Everything except the clock must be absorbed or unconnected.
         clock_name = None
@@ -449,6 +573,7 @@ class Runtime:
             return
         hw.absorb_clock(self.engines[clock_name], clock_port)
         self.absorbed.add(clock_name)
+        self._engines_cache = None
         self._open_loop_active = True
         self.view.info(f"[cascade] entering open-loop scheduling "
                        f"(clock={clock_port})")
@@ -456,7 +581,8 @@ class Runtime:
     def _run_open_loop(self, fast_forward: bool) -> None:
         users = self.program.user_subprograms()
         hw = self.engines[users[0].name]
-        assert isinstance(hw, HardwareEngine)
+        assert isinstance(hw, HardwareEngine) and \
+            hw.location == HARDWARE
         # Let absorbed peripherals sample the host/board before the
         # batch, so button presses etc. are visible to this batch rather
         # than the next one.
@@ -501,8 +627,7 @@ class Runtime:
                 if self.finished is None:
                     self.finished = interrupt.payload
         hw.end_step()
-        if hasattr(hw, "set_time"):
-            hw.set_time(self.iterations // 2)
+        hw.set_time(self.iterations // 2)
         if self.enable_jit:
             # Nothing is left to migrate in open loop, but completions
             # (and especially failures) must still be drained/surfaced.
@@ -569,6 +694,28 @@ class Runtime:
     def engine_locations(self) -> Dict[str, str]:
         return {name: engine.location
                 for name, engine in self.engines.items()}
+
+    def engine_tiers(self) -> Dict[str, str]:
+        """Per-engine JIT tier: ``interpreted`` / ``sw-fast`` /
+        ``hardware`` (stdlib components report ``stdlib``)."""
+        tiers: Dict[str, str] = {}
+        for name, engine in self.engines.items():
+            if isinstance(engine, FastSoftwareEngine):
+                tiers[name] = "sw-fast"
+            elif isinstance(engine, HardwareEngine):
+                tiers[name] = "hardware"
+            elif isinstance(engine, SoftwareEngineAdapter):
+                tiers[name] = "interpreted"
+            else:
+                tiers[name] = "stdlib"
+        return tiers
+
+    def tier_counts(self) -> Dict[str, int]:
+        counts = {"interpreted": 0, "sw-fast": 0,
+                  "hardware": 0, "stdlib": 0}
+        for tier in self.engine_tiers().values():
+            counts[tier] += 1
+        return counts
 
     def user_engine_location(self) -> str:
         users = self.program.user_subprograms() if self.program else []

@@ -281,6 +281,11 @@ class SoftwareEngine:
         self._sleeping: List[Tuple[int, int, _Process]] = []  # heap
         self._sleep_seq = 0
         self._waits_by_name: Dict[str, List[_WaitEntry]] = {}
+        # Per-event-control activation metadata, computed once per ctrl
+        # (keyed by identity: ctrl nodes live as long as the design).
+        # Re-walking the expression tree on every wait registration and
+        # every _check_waits call dominated the scheduler hot path.
+        self._wait_meta: Dict[int, Tuple] = {}
         self._monitors: List[Tuple[List[ast.Expr], Optional[str]]] = []
         self._changed_outputs: Set[str] = set()
         self._finished: Optional[int] = None
@@ -399,11 +404,18 @@ class SoftwareEngine:
     def _check_waits(self, changed: str, entries: List[_WaitEntry]) -> None:
         for entry in entries:
             satisfied = False
-            for i, (edge, expr, prev) in enumerate(entry.items):
-                if changed not in read_set_of(expr):
+            for i, (edge, expr, prev, names) in enumerate(entry.items):
+                if changed not in names:
+                    continue
+                if prev is None:
+                    # Memory sensitivity (eg @(*) over a reg array):
+                    # element writes are change-filtered before
+                    # notification, so any notification is a change.
+                    if edge is None:
+                        satisfied = True
                     continue
                 new = self.evaluator.eval_self(expr)
-                entry.items[i] = (edge, expr, new)
+                entry.items[i] = (edge, expr, new, names)
                 if edge is None:
                     if new.aval != prev.aval or new.bval != prev.bval:
                         satisfied = True
@@ -425,15 +437,41 @@ class SoftwareEngine:
 
     def _register_wait(self, process: _Process,
                        ctrl: ast.EventControl) -> None:
+        meta = self._wait_meta.get(id(ctrl))
+        if meta is None:
+            item_meta = []
+            all_names: Set[str] = set()
+            for item in ctrl.items:
+                item_names = frozenset(read_set_of(item.expr))
+                # A bare signal reference — the overwhelmingly common
+                # case (@(posedge clk)) — can skip the evaluator and
+                # read the value dict directly on every registration.
+                ident = item.expr.name \
+                    if isinstance(item.expr, ast.Ident) else None
+                # A bare memory reference has no scalar value to
+                # snapshot; it is tracked purely by change
+                # notification (prev sentinel None).
+                is_mem = ident is not None and ident in self.arrays
+                item_meta.append((item.edge, item.expr, item_names,
+                                  ident, is_mem))
+                all_names |= item_names
+            meta = (item_meta, tuple(all_names))
+            self._wait_meta[id(ctrl)] = meta
+        item_meta, names = meta
+        values = self.values
         items = []
-        names: Set[str] = set()
-        for item in ctrl.items:
-            current = self.evaluator.eval_self(item.expr)
-            items.append((item.edge, item.expr, current))
-            names |= read_set_of(item.expr)
+        for edge, expr, item_names, ident, is_mem in item_meta:
+            if is_mem:
+                items.append((edge, expr, None, item_names))
+                continue
+            current = values.get(ident) if ident is not None else None
+            if current is None:
+                current = self.evaluator.eval_self(expr)
+            items.append((edge, expr, current, item_names))
         entry = _WaitEntry(process, items, names)
+        waits = self._waits_by_name
         for name in names:
-            self._waits_by_name.setdefault(name, []).append(entry)
+            waits.setdefault(name, []).append(entry)
 
     # ------------------------------------------------------------------
     # Statement execution (generator-based)

@@ -53,7 +53,12 @@ def measure_pow_timeline(target_zeros: int = 12,
     program = pow_program(target_zeros=target_zeros, quiet=True)
 
     # --- Cascade arm -------------------------------------------------
-    rt = Runtime(compile_service=CompileService())
+    # The software fast path is pinned off so the sim-phase series
+    # keeps the paper's interpreter-vs-iVerilog meaning (and stays
+    # independent of when the fast swap lands on this host).  The
+    # compiled software tier has its own benchmark, bench_swjit.
+    rt = Runtime(compile_service=CompileService(),
+                 enable_sw_fastpath=False)
     rt.eval_source(program)
     rt.run(iterations=2)  # code is running: startup latency
     startup_s = rt.time_model.now_seconds

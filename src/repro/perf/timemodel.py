@@ -25,7 +25,7 @@ replay deterministically in milliseconds of host time.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["TimeModel", "PerfTrace"]
 
@@ -40,18 +40,36 @@ class TimeModel:
                  sw_event_ns: int = 120_000,
                  sw_iteration_ns: int = 150_000,
                  mmio_ns: int = 1_800,
-                 runtime_overhead_ns: int = 4_000):
+                 runtime_overhead_ns: int = 4_000,
+                 sw_fast_event_ns: Optional[int] = None):
         self.fabric_mhz = fabric_mhz
         self.fabric_tick_ns = 1_000.0 / fabric_mhz
         self.sw_event_ns = sw_event_ns
         self.sw_iteration_ns = sw_iteration_ns
         self.mmio_ns = mmio_ns
         self.runtime_overhead_ns = runtime_overhead_ns
+        #: Virtual cost of an event processed by the *software fast
+        #: path* (the compiled-Python middle JIT tier).  ``None`` — the
+        #: default, and the documented deviation in DESIGN.md §4.4 —
+        #: charges it at the interpreter's ``sw_event_ns`` so paper
+        #: timelines (Figures 11/12) are bit-identical whether or not
+        #: the fast path engaged; only host wall-clock changes.
+        self.sw_fast_event_ns = sw_fast_event_ns
         self.now_ns: float = 0.0
+        #: Events charged per execution tier, for :stats / :time.
+        self.tier_events: Dict[str, int] = {
+            "interpreted": 0, "sw-fast": 0, "hardware": 0}
 
     # -- charging --------------------------------------------------------
-    def charge_sw_events(self, count: int) -> None:
-        self.now_ns += count * self.sw_event_ns
+    def charge_sw_events(self, count: int, fast: bool = False) -> None:
+        if fast:
+            rate = self.sw_event_ns if self.sw_fast_event_ns is None \
+                else self.sw_fast_event_ns
+            self.now_ns += count * rate
+            self.tier_events["sw-fast"] += count
+        else:
+            self.now_ns += count * self.sw_event_ns
+            self.tier_events["interpreted"] += count
 
     def charge_sw_iteration(self) -> None:
         self.now_ns += self.sw_iteration_ns
@@ -61,6 +79,7 @@ class TimeModel:
 
     def charge_hw_ticks(self, ticks: int) -> None:
         self.now_ns += ticks * self.fabric_tick_ns
+        self.tier_events["hardware"] += ticks
 
     def charge_runtime(self) -> None:
         self.now_ns += self.runtime_overhead_ns
