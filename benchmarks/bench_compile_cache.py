@@ -18,8 +18,12 @@ import pytest
 
 from repro.apps.pow import pow_program
 from repro.apps.regex import regex_program
+from repro.backend.compilequeue import CompileQueue
 from repro.backend.compiler import CompileService
+from repro.ir.build import Subprogram
 from repro.core.runtime import Runtime
+from repro.study.corpus import flow_variant, generate_corpus
+from repro.verilog.parser import parse_module
 
 pytestmark = pytest.mark.benchmark(group="compile_cache")
 
@@ -56,6 +60,54 @@ def _measure(source: str):
     }
 
 
+def _foreground_hz(runtime, window_s: float) -> float:
+    iterations = 0
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < window_s:
+        runtime.run(iterations=64)
+        iterations += 64
+    return iterations / (time.perf_counter() - t0)
+
+
+def _measure_interference(window_s: float = 0.5):
+    """Concurrent interference: foreground simulation throughput while
+    a heavyweight compile is in flight, with the flow on the *thread*
+    lane (sharing the interpreter's GIL) vs the *process* lane.  The
+    numbers are host-dependent (on one core both lanes timeslice, on
+    many cores the process lane should leave the foreground flat), so
+    they are reported in the JSON but not asserted."""
+    runtime = Runtime(compile_service=CompileService(latency_scale=0.0),
+                      enable_jit=False)
+    runtime.eval_source(pow_program(target_zeros=12, quiet=True))
+    runtime.run(iterations=64)  # settle
+    solo_hz = _foreground_hz(runtime, window_s)
+
+    # The in-flight work: a mid-size study-corpus design pushed through
+    # the real flow (big enough to outlast the measurement window).
+    corpus = generate_corpus()
+    solution = min(corpus, key=lambda s: len(flow_variant(s)))
+    module = parse_module(flow_variant(solution))
+    sub = Subprogram("intf", module, False, module.name, {})
+
+    out = {"solo_hz": solo_hz, "window_s": window_s}
+    for kind in ("thread", "process"):
+        lane = CompileQueue(max_workers=1, kind=kind,
+                            name=f"bench-intf-{kind}")
+        service = CompileService(full_flow_max_luts=10_000,
+                                 queue=CompileQueue(max_workers=1),
+                                 flow_queue=lane, place_starts=1)
+        try:
+            job = service.submit(sub, now_s=0.0)
+            hz = _foreground_hz(runtime, window_s)
+            out[f"{kind}_finished_early"] = job.host_done
+            _ = job.resources  # drain the worker
+        finally:
+            lane.shutdown(wait=False)
+        out[f"{kind}_hz"] = hz
+        out[f"{kind}_slowdown"] = solo_hz / hz if hz > 0 else 0.0
+    return out
+
+
 def _emit(results: dict) -> str:
     path = os.environ.get("CASCADE_BENCH_JSON",
                           "bench_compile_cache.json")
@@ -69,6 +121,7 @@ def cache_results():
     return {
         "pow": _measure(pow_program(target_zeros=12, quiet=True)),
         "regex": _measure(regex_program("ab(c|d)+e")[0]),
+        "interference": _measure_interference(),
     }
 
 
@@ -76,14 +129,19 @@ def test_compile_cache_speedup(cache_results, benchmark):
     results = benchmark.pedantic(lambda: cache_results,
                                  rounds=1, iterations=1)
     path = _emit(results)
+    intf = results["interference"]
+    apps = {k: v for k, v in results.items() if k != "interference"}
     print(f"\ncold vs warm host compile time (JSON -> {path})")
-    for name, r in results.items():
+    for name, r in apps.items():
         print(f"  {name:6s} cold={r['cold_host_s'] * 1e3:8.1f}ms "
               f"warm={r['warm_host_s'] * 1e3:8.1f}ms "
               f"speedup={r['speedup']:6.1f}x "
               f"(virtual {r['virtual_cold_s']:.0f}s -> "
               f"{r['virtual_warm_s']:.0f}s)")
-    for name, r in results.items():
+    print(f"  interference: solo {intf['solo_hz']:.0f} it/s, "
+          f"thread lane {intf['thread_slowdown']:.2f}x slowdown, "
+          f"process lane {intf['process_slowdown']:.2f}x slowdown")
+    for name, r in apps.items():
         # A warm compile must skip the real work entirely.
         assert r["warm_host_s"] < r["cold_host_s"] / 2, name
         # And the virtual latency collapses to the reprogramming cost.
@@ -92,6 +150,7 @@ def test_compile_cache_speedup(cache_results, benchmark):
 
 if __name__ == "__main__":
     out = {"pow": _measure(pow_program(target_zeros=12, quiet=True)),
-           "regex": _measure(regex_program("ab(c|d)+e")[0])}
+           "regex": _measure(regex_program("ab(c|d)+e")[0]),
+           "interference": _measure_interference()}
     print(json.dumps(out, indent=2, sort_keys=True))
     _emit(out)

@@ -254,8 +254,13 @@ class PlacementCache:
 
     def store(self, signature: str,
               locations: Dict[str, Coord]) -> None:
+        # Normalise to plain int tuples: placements now travel through
+        # pickles (process-pool flow lane) and JSON (disk cache), and a
+        # hint must mean the same thing wherever it came from.
+        entry = {cell: (int(loc[0]), int(loc[1]))
+                 for cell, loc in locations.items()}
         with self._lock:
-            self._entries[signature] = dict(locations)
+            self._entries[signature] = entry
             self._entries.move_to_end(signature)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

@@ -49,7 +49,8 @@ from ..verilog.elaborate import Design, elaborate_leaf
 from ..verilog.printer import module_to_str
 from .cache import BitstreamCache, CacheEntry, PlacementCache, \
     design_cache_key
-from .compilequeue import CompileQueue, shared_queue
+from .compilequeue import CompileQueue, default_place_starts, \
+    shared_flow_queue, shared_queue
 from .estimate import estimate_resources, instrumentation_overhead
 from .fabric import Device
 from .pycompile import CompiledDesign, compile_design
@@ -205,7 +206,9 @@ class CompileService:
                  queue: Optional[CompileQueue] = None,
                  device: Optional[Device] = None,
                  cache_hit_latency_s: float = 1.0,
-                 warm_start_effort: float = 0.35):
+                 warm_start_effort: float = 0.35,
+                 flow_queue: Optional[CompileQueue] = None,
+                 place_starts: Optional[int] = None):
         self.model = model or CompilerModel()
         self.latency_scale = latency_scale
         #: When positive, designs whose estimated LUT count is at or
@@ -217,6 +220,17 @@ class CompileService:
         self.placements = placements if placements is not None \
             else PlacementCache()
         self.queue = queue if queue is not None else shared_queue()
+        #: The process-pool lane the CPU-bound place/route/timing
+        #: kernels are shipped to (threads above only orchestrate, so
+        #: in-flight compiles no longer contend with the simulation for
+        #: the GIL).  ``flow_queue=None`` selects the shared lane; pass
+        #: a ``CompileQueue(max_workers=0)`` for inline debugging.
+        self.flow_queue = flow_queue if flow_queue is not None \
+            else shared_flow_queue()
+        #: Cold placements anneal this many seeds in parallel and keep
+        #: the best by ``(cost, seed)``; warm starts stay single-start.
+        self.place_starts = place_starts if place_starts is not None \
+            else default_place_starts()
         self.device = device
         #: Virtual seconds a cache hit still costs: the device must be
         #: reprogrammed with the cached bitstream, but nothing is
@@ -352,7 +366,9 @@ class CompileService:
                 from .flow import run_flow
                 report = run_flow(job.design, device=self.device,
                                   placement_cache=self.placements,
-                                  warm_effort=self.warm_start_effort)
+                                  warm_effort=self.warm_start_effort,
+                                  starts=self.place_starts,
+                                  pool=self.flow_queue)
                 if report.placement.warm_started:
                     with self._lock:
                         self.warm_starts += 1
@@ -435,4 +451,6 @@ class CompileService:
             "host_seconds": host,
             "bitstream_cache": self.cache.stats(),
             "placement_cache": self.placements.stats(),
+            "flow_lane": dict(self.flow_queue.stats(),
+                              place_starts=self.place_starts),
         }

@@ -35,6 +35,17 @@ class Device:
         self.setup_ns = setup_ns
         self.io_pads = io_pads
 
+    def to_payload(self) -> tuple:
+        """A compact, picklable form for the process-pool flow lane
+        (mirrors :meth:`repro.backend.netlist.Netlist.to_payload`)."""
+        return (self.name, self.width, self.height, self.clock_mhz,
+                self.channel_capacity, self.lut_delay_ns,
+                self.wire_delay_ns_per_hop, self.setup_ns, self.io_pads)
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "Device":
+        return cls(*payload)
+
     @property
     def logic_elements(self) -> int:
         return self.width * self.height

@@ -104,6 +104,33 @@ class Netlist:
     def set_output(self, port: str, net: str) -> None:
         self.outputs[port] = net
 
+    # -- serialization ----------------------------------------------------
+    def to_payload(self) -> tuple:
+        """A compact, picklable form for shipping across process
+        boundaries (the flow lane).  Plain tuples pickle far smaller
+        and faster than per-:class:`Cell` objects, and the payload is
+        stable: round-tripping preserves cell order, so placement —
+        which iterates ``cells`` — stays bit-identical on the other
+        side."""
+        return (self.name,
+                tuple((c.name, c.kind, tuple(c.fanin), c.truth, c.value)
+                      for c in self.cells.values()),
+                tuple(self.inputs),
+                tuple(self.outputs.items()),
+                self._uid)
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "Netlist":
+        name, cells, inputs, outputs, uid = payload
+        nl = cls(name)
+        for cname, kind, fanin, truth, value in cells:
+            nl.cells[cname] = Cell(cname, kind, list(fanin),
+                                   truth=truth, value=value)
+        nl.inputs = list(inputs)
+        nl.outputs = dict(outputs)
+        nl._uid = uid
+        return nl
+
     # -- queries ------------------------------------------------------------
     def nets(self) -> Dict[str, Net]:
         """Driver -> sinks map (outputs count as sinks)."""

@@ -6,6 +6,20 @@ slow, and the reason the JIT has something to hide.  The placer assigns
 every LUT/FF cell to a logic element on the device grid and every
 INPUT/OUTPUT to a perimeter pad, minimising total half-perimeter
 wirelength under an exponential cooling schedule.
+
+Two kernels implement the same anneal:
+
+* ``kernel="fast"`` (the default) — an array-based kernel: cells are
+  integer indices, coordinates live in flat lists, and every net caches
+  its bounding box, updated incrementally on each move (a from-scratch
+  rescan happens only when a moved cell sat on the box boundary or a
+  swap touched the net twice).  Rejected moves restore the saved boxes
+  instead of recomputing them.
+* ``kernel="reference"`` — the original dict-of-lists implementation
+  that rebuilds coordinate lists per affected net per move.  It is kept
+  as the differential oracle (both kernels draw the same random-number
+  sequence and make bit-identical accept/reject decisions, so their
+  placements must match exactly) and as the benchmark baseline.
 """
 
 from __future__ import annotations
@@ -28,12 +42,15 @@ class Placement:
 
     def __init__(self, locations: Dict[str, Coord], cost: float,
                  moves_tried: int, moves_accepted: int,
-                 warm_started: bool = False):
+                 warm_started: bool = False, seed: Optional[int] = None):
         self.locations = locations
         self.cost = cost
         self.moves_tried = moves_tried
         self.moves_accepted = moves_accepted
         self.warm_started = warm_started
+        #: The annealing seed that produced this placement (lets
+        #: multi-start winners stay attributable and reproducible).
+        self.seed = seed
 
     def location(self, cell: str) -> Coord:
         return self.locations[cell]
@@ -56,18 +73,13 @@ def _hpwl(cells: List[str], locations: Dict[str, Coord]) -> int:
     return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
 
-def place(netlist: Netlist, device: Device, seed: int = 1,
-          effort: float = 1.0,
-          initial: Optional[Dict[str, Coord]] = None) -> Placement:
-    """Anneal a placement; raises :class:`PlacementError` when the
-    design does not fit the device.
-
-    ``initial`` warm-starts annealing: cells named in it keep their
-    previous grid site (when valid and unclaimed) instead of a random
-    one, so a recompile of a near-identical netlist begins near the old
-    optimum.  Callers typically combine it with a reduced ``effort``.
-    """
-    rng = random.Random(seed)
+def _initial_locations(netlist: Netlist, device: Device, rng: random.Random,
+                       initial: Optional[Dict[str, Coord]]
+                       ) -> Tuple[Dict[str, Coord], List[str], List[Coord],
+                                  bool]:
+    """The shared setup of both kernels: fit checks, the (possibly
+    warm-started) initial placement, perimeter IO pads and the free-site
+    pool.  Consumes RNG state identically for both kernels."""
     placeable = [name for name, cell in netlist.cells.items()
                  if cell.kind in ("LUT", "FF")]
     ios = [name for name, cell in netlist.cells.items()
@@ -121,6 +133,185 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
     for name, cell in netlist.cells.items():
         if cell.kind == "CONST":
             locations[name] = (0, 0)
+    return locations, placeable, free_sites, warm_started
+
+
+def _schedule(cost: float, n: int, effort: float, warm_started: bool
+              ) -> Tuple[int, float, float, int]:
+    """(move budget, initial temperature, cooling rate, moves/temp)."""
+    moves_total = int(effort * 40 * n * max(math.log(n + 1), 1.0))
+    # Warm starts begin near a previous optimum: a high initial
+    # temperature would only scramble it, so quench instead of melt.
+    temp_scale = 0.15 if warm_started else 2.0
+    temperature = max(cost / max(n, 1), 1.0) * temp_scale
+    return moves_total, temperature, 0.95, max(10 * n, 100)
+
+
+def place(netlist: Netlist, device: Device, seed: int = 1,
+          effort: float = 1.0,
+          initial: Optional[Dict[str, Coord]] = None,
+          kernel: str = "fast") -> Placement:
+    """Anneal a placement; raises :class:`PlacementError` when the
+    design does not fit the device.
+
+    ``initial`` warm-starts annealing: cells named in it keep their
+    previous grid site (when valid and unclaimed) instead of a random
+    one, so a recompile of a near-identical netlist begins near the old
+    optimum.  Callers typically combine it with a reduced ``effort``.
+
+    The result is a pure function of ``(netlist, device, seed, effort,
+    initial)``: both kernels, and any host (thread, process, inline),
+    produce bit-identical placements.
+    """
+    if kernel == "reference":
+        return _place_reference(netlist, device, seed, effort, initial)
+    rng = random.Random(seed)
+    locations, placeable, free_sites, warm_started = \
+        _initial_locations(netlist, device, rng, initial)
+
+    # ---- flatten everything the hot loop touches into arrays --------
+    names = list(locations)                 # index -> cell name
+    index = {name: i for i, name in enumerate(names)}
+    loc_x = [locations[name][0] for name in names]
+    loc_y = [locations[name][1] for name in names]
+    pl_idx = [index[name] for name in placeable]
+
+    net_cells: List[List[int]] = []
+    for net in _net_bboxes(netlist):
+        members = [index[c] for c in net if c in index]
+        if len(members) > 1:
+            net_cells.append(members)
+    cell_nets: List[List[int]] = [[] for _ in names]
+    for t, members in enumerate(net_cells):
+        for c in members:
+            cell_nets[c].append(t)
+
+    n_nets = len(net_cells)
+    bb_lox = [0] * n_nets
+    bb_hix = [0] * n_nets
+    bb_loy = [0] * n_nets
+    bb_hiy = [0] * n_nets
+    net_cost = [0] * n_nets
+    for t, members in enumerate(net_cells):
+        xs = [loc_x[c] for c in members]
+        ys = [loc_y[c] for c in members]
+        bb_lox[t], bb_hix[t] = min(xs), max(xs)
+        bb_loy[t], bb_hiy[t] = min(ys), max(ys)
+        net_cost[t] = (bb_hix[t] - bb_lox[t]) + (bb_hiy[t] - bb_loy[t])
+    cost = float(sum(net_cost))
+
+    n = max(len(placeable), 1)
+    moves_total, temperature, cooling, moves_per_temp = \
+        _schedule(cost, n, effort, warm_started)
+    tried = accepted = 0
+
+    # Per-move scratch: nets touched this move, with their saved state
+    # (epoch stamps avoid building a set per move).
+    mark = [0] * n_nets
+    epoch = 0
+    rng_random = rng.random
+    rng_choice = rng.choice
+    exp = math.exp
+
+    while tried < moves_total and temperature > 0.005:
+        for _ in range(min(moves_per_temp, moves_total - tried)):
+            tried += 1
+            a = rng_choice(pl_idx)
+            ax, ay = loc_x[a], loc_y[a]
+            if free_sites and rng_random() < 0.3:
+                idx = rng.randrange(len(free_sites))
+                nx, ny = free_sites[idx]
+                free_sites[idx] = (ax, ay)
+                loc_x[a], loc_y[a] = nx, ny
+                b = -1
+                free_swap = idx
+            else:
+                b = rng_choice(pl_idx)
+                if a == b:
+                    continue
+                nx, ny = loc_x[b], loc_y[b]
+                loc_x[b], loc_y[b] = ax, ay
+                loc_x[a], loc_y[a] = nx, ny
+                free_swap = -1
+
+            # Delta over affected nets, bounding boxes updated in place.
+            epoch += 1
+            delta = 0
+            touched: List[Tuple[int, int, int, int, int, int]] = []
+            single = b < 0
+            for moved in ((a,) if single else (a, b)):
+                for t in cell_nets[moved]:
+                    if mark[t] == epoch:
+                        # A net joining both swapped cells: its box is
+                        # unchanged by exchanging two of its members.
+                        continue
+                    mark[t] = epoch
+                    lox, hix = bb_lox[t], bb_hix[t]
+                    loy, hiy = bb_loy[t], bb_hiy[t]
+                    touched.append((t, net_cost[t], lox, hix, loy, hiy))
+                    if single and lox < ax < hix and loy < ay < hiy:
+                        # The moved cell was strictly inside: the box
+                        # can only grow, O(1).
+                        if nx < lox:
+                            lox = nx
+                        elif nx > hix:
+                            hix = nx
+                        if ny < loy:
+                            loy = ny
+                        elif ny > hiy:
+                            hiy = ny
+                    else:
+                        members = net_cells[t]
+                        c0 = members[0]
+                        lox = hix = loc_x[c0]
+                        loy = hiy = loc_y[c0]
+                        for c in members[1:]:
+                            x = loc_x[c]
+                            if x < lox:
+                                lox = x
+                            elif x > hix:
+                                hix = x
+                            y = loc_y[c]
+                            if y < loy:
+                                loy = y
+                            elif y > hiy:
+                                hiy = y
+                    bb_lox[t], bb_hix[t] = lox, hix
+                    bb_loy[t], bb_hiy[t] = loy, hiy
+                    new_cost = (hix - lox) + (hiy - loy)
+                    net_cost[t] = new_cost
+                    delta += new_cost - touched[-1][1]
+
+            if delta <= 0 or rng_random() < exp(-delta / temperature):
+                cost += delta
+                accepted += 1
+            else:
+                # Reject: restore coordinates and the saved boxes — no
+                # recomputation.
+                if free_swap >= 0:
+                    free_sites[free_swap] = (nx, ny)
+                else:
+                    loc_x[b], loc_y[b] = nx, ny
+                loc_x[a], loc_y[a] = ax, ay
+                for t, old_cost, lox, hix, loy, hiy in touched:
+                    net_cost[t] = old_cost
+                    bb_lox[t], bb_hix[t] = lox, hix
+                    bb_loy[t], bb_hiy[t] = loy, hiy
+        temperature *= cooling
+
+    out = {name: (loc_x[i], loc_y[i]) for i, name in enumerate(names)}
+    return Placement(out, cost, tried, accepted, warm_started, seed=seed)
+
+
+def _place_reference(netlist: Netlist, device: Device, seed: int = 1,
+                     effort: float = 1.0,
+                     initial: Optional[Dict[str, Coord]] = None
+                     ) -> Placement:
+    """The original list-rebuilding kernel (differential oracle and
+    benchmark baseline — see the module docstring)."""
+    rng = random.Random(seed)
+    locations, placeable, free_sites, warm_started = \
+        _initial_locations(netlist, device, rng, initial)
 
     nets = _net_bboxes(netlist)
     nets = [[c for c in net if c in locations] for net in nets]
@@ -133,13 +324,8 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
     cost = float(sum(net_costs))
 
     n = max(len(placeable), 1)
-    moves_total = int(effort * 40 * n * max(math.log(n + 1), 1.0))
-    # Warm starts begin near a previous optimum: a high initial
-    # temperature would only scramble it, so quench instead of melt.
-    temp_scale = 0.15 if warm_started else 2.0
-    temperature = max(cost / max(n, 1), 1.0) * temp_scale
-    cooling = 0.95
-    moves_per_temp = max(10 * n, 100)
+    moves_total, temperature, cooling, moves_per_temp = \
+        _schedule(cost, n, effort, warm_started)
     tried = accepted = 0
 
     def delta_for(cells_moved: List[str]) -> float:
@@ -188,7 +374,8 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
                 delta_for(moved)  # restore cached net costs
         temperature *= cooling
 
-    return Placement(locations, cost, tried, accepted, warm_started)
+    return Placement(locations, cost, tried, accepted, warm_started,
+                     seed=seed)
 
 
 def _perimeter(device: Device) -> List[Coord]:

@@ -78,28 +78,40 @@ def route(netlist: Netlist, placement: Placement, device: Device,
                 continue
             pins.append((src, dst))
 
+    # Each pin has exactly two candidate L paths, and both depend only
+    # on the placement — which never changes across negotiation
+    # iterations.  Build the segment lists once and reuse them for
+    # cost, choice, and usage accounting every iteration.
+    candidates: List[Tuple[List[Segment], List[Segment]]] = [
+        (_segments(src, dst, True), _segments(src, dst, False))
+        for src, dst in pins]
+
     usage: Dict[Segment, int] = {}
     history: Dict[Segment, int] = {}
-    choices: List[bool] = [True] * len(pins)
-
-    def seg_cost(seg: Segment) -> float:
-        over = max(0, usage.get(seg, 0) + 1 - device.channel_capacity)
-        return 1.0 + 4.0 * over + 0.5 * history.get(seg, 0)
+    capacity = device.channel_capacity
 
     iterations = 0
     for iteration in range(max_iterations):
         iterations = iteration + 1
         usage.clear()
-        for i, (src, dst) in enumerate(pins):
-            cost_x = sum(seg_cost(s) for s in _segments(src, dst, True))
-            cost_y = sum(seg_cost(s) for s in _segments(src, dst, False))
-            choices[i] = cost_x <= cost_y
-            for seg in _segments(src, dst, choices[i]):
-                usage[seg] = usage.get(seg, 0) + 1
-        overflow = [s for s, u in usage.items()
-                    if u > device.channel_capacity]
+        usage_get = usage.get
+        history_get = history.get
+        for segs_x, segs_y in candidates:
+            cost_x = 0.0
+            for s in segs_x:
+                over = usage_get(s, 0) + 1 - capacity
+                cost_x += 1.0 + 0.5 * history_get(s, 0) \
+                    + (4.0 * over if over > 0 else 0.0)
+            cost_y = 0.0
+            for s in segs_y:
+                over = usage_get(s, 0) + 1 - capacity
+                cost_y += 1.0 + 0.5 * history_get(s, 0) \
+                    + (4.0 * over if over > 0 else 0.0)
+            for seg in (segs_x if cost_x <= cost_y else segs_y):
+                usage[seg] = usage_get(seg, 0) + 1
+        overflow = [s for s, u in usage.items() if u > capacity]
         for seg in overflow:
-            history[seg] = history.get(seg, 0) + 1
+            history[seg] = history_get(seg, 0) + 1
         if not overflow:
             break
 

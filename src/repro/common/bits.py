@@ -78,6 +78,12 @@ class Bits:
     def __deepcopy__(self, memo) -> "Bits":
         return self
 
+    def __reduce__(self):
+        # Slots + the __setattr__ guard break pickle's default state
+        # restore; rebuild through the constructor instead.  Needed so
+        # designs and flow reports can cross process boundaries.
+        return (Bits, (self.width, self.aval, self.bval, self.signed))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -101,6 +101,10 @@ class Repl:
                 f"({s['bitstream_cache']['entries']} entries)",
                 f"placement cache: {s['warm_starts']} warm starts "
                 f"({s['placement_cache']['entries']} entries)",
+                f"flow lane: {s['flow_lane']['kind']} x"
+                f"{s['flow_lane']['workers']}, "
+                f"{s['flow_lane']['place_starts']} place starts"
+                + (" (degraded)" if s['flow_lane']['degraded'] else ""),
                 "host seconds: " + ", ".join(
                     f"{k.rsplit('_', 1)[0]} {v:.3f}"
                     for k, v in sorted(host.items())),

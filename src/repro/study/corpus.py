@@ -15,11 +15,13 @@ generated Verilog with the real frontend.
 from __future__ import annotations
 
 import random
+import re
 from typing import List
 
 from ..apps.nw import encode_dna, random_dna
 
-__all__ = ["StudentSolution", "generate_solution", "generate_corpus"]
+__all__ = ["StudentSolution", "generate_solution", "generate_corpus",
+           "flow_variant"]
 
 
 class StudentSolution:
@@ -228,3 +230,109 @@ def generate_corpus(n: int = 31, seed: int = 378) -> List[StudentSolution]:
     """The class's n submissions (UT CS378H, Fall 2018)."""
     rng = random.Random(seed)
     return [generate_solution(i, rng) for i in range(n)]
+
+
+def flow_variant(solution: StudentSolution, width: int = 8) -> str:
+    """A gate-level-synthesizable projection of a student solution.
+
+    The corpus sources exercise the *frontend* (Table 1 statistics) and
+    deliberately use constructs our Quartus stand-in's gate-level flow
+    rejects: row memories (``prev_row[]``), ``$display`` debugging, and
+    per-student free-running ``stage`` counters.  Benchmarking the flow
+    on the corpus therefore needs a projection: the same wavefront
+    structure and the same size knobs (row length, unroll width), but
+    scalarised — one register per row cell, one ``always`` block, the
+    anti-diagonal update unrolled combinationally.
+
+    Scores are biased-unsigned (bias ``2**(width-1)``) so the whole
+    datapath stays in the unsigned adder/compare subset; for the small
+    per-cell scores of NW this is exact.  The generated module is a
+    pure function of the solution's source, so a given corpus seed
+    always yields the same netlist — what the placement determinism
+    tests and benchmarks rely on.
+    """
+    src = solution.source
+    m = re.search(r"prev_row \[0:(\d+)\]", src)
+    seq_len = int(m.group(1)) if m else 8
+    m = re.search(r"row_acc \[0:(\d+)\]", src)
+    blocking_cells = int(m.group(1)) if m else 6
+    assign_cells = len(re.findall(r"wire signed \[15:0\] wd", src))
+    cols = max(2, min(seq_len, blocking_cells + assign_cells))
+
+    bias = 1 << (width - 1)
+    gap = (bias - 1) & ((1 << width) - 1)  # bias + (-1), pre-biased once
+    a = random_dna(seq_len, seed=solution.student_id * 3 + 1)
+    b = random_dna(seq_len, seed=solution.student_id * 3 + 2)
+    w1, w2 = width - 1, 2 * seq_len
+
+    lines = [
+        f"// flow projection of NW_{solution.student_id}: "
+        f"{cols} cells/row, {seq_len} rows",
+        f"module NW_flow_{solution.student_id}(",
+        "  input wire clk,",
+        "  input wire start,",
+        f"  output reg [{w1}:0] score = 0,",
+        f"  output reg [{w1}:0] dbg = 0,",
+        "  output reg done = 0",
+        ");",
+        f"  reg [{w2 - 1}:0] b_shift = 0;",
+        f"  reg [{w1}:0] col0 = {bias};",
+        "  reg [7:0] row = 0;",
+        "  reg busy = 0;",
+    ]
+    for k in range(cols + 1):
+        init = (bias - k) & ((1 << width) - 1)
+        lines.append(f"  reg [{w1}:0] prev_{k} = {init};")
+    lines.append("")
+    lines.append(f"  wire [1:0] b_cur = b_shift[1:0];")
+    # One anti-diagonal step, fully unrolled: next_k depends on
+    # prev_{k-1} (diag), prev_k (up) and next_{k-1} (left chain).
+    lines.append(f"  wire [{w1}:0] next_0 = col0 + {gap} - {bias};")
+    for k in range(1, cols + 1):
+        a_k = (encode_dna(a) >> (2 * ((k - 1) % seq_len))) & 3
+        lines.append(
+            f"  wire [{w1}:0] d_{k} = prev_{k - 1} + "
+            f"((2'd{a_k} == b_cur) ? {width}'d1 : "
+            f"{width}'d{(1 << width) - 1});")
+        lines.append(f"  wire [{w1}:0] u_{k} = prev_{k} + "
+                     f"{width}'d{(1 << width) - 1};")
+        lines.append(f"  wire [{w1}:0] l_{k} = next_{k - 1} + "
+                     f"{width}'d{(1 << width) - 1};")
+        lines.append(f"  wire [{w1}:0] m_{k} = "
+                     f"(d_{k} >= u_{k}) ? d_{k} : u_{k};")
+        lines.append(f"  wire [{w1}:0] next_{k} = "
+                     f"(m_{k} >= l_{k}) ? m_{k} : l_{k};")
+    # The students' extra wire/assign verbosity, kept live through dbg.
+    for k in range(assign_cells):
+        prev = f"x_{k - 1}" if k else "next_0"
+        lines.append(f"  wire [{w1}:0] x_{k} = {prev} ^ next_{k % cols + 1}"
+                     f" ^ {width}'d{(17 * (k + 1)) & ((1 << width) - 1)};")
+    dbg_src = f"x_{assign_cells - 1}" if assign_cells else "next_0"
+    lines.append("")
+    lines.append("  always @(posedge clk) begin")
+    lines.append("    done <= 0;")
+    lines.append("    if (start && !busy) begin")
+    lines.append("      busy <= 1;")
+    lines.append("      row <= 0;")
+    lines.append(f"      col0 <= {bias};")
+    lines.append(f"      b_shift <= {w2}'d{encode_dna(b)};")
+    for k in range(cols + 1):
+        init = (bias - k) & ((1 << width) - 1)
+        lines.append(f"      prev_{k} <= {init};")
+    lines.append("    end else if (busy) begin")
+    for k in range(cols + 1):
+        lines.append(f"      prev_{k} <= next_{k};")
+    lines.append(f"      col0 <= next_0;")
+    lines.append("      b_shift <= b_shift >> 2;")
+    lines.append(f"      dbg <= dbg ^ {dbg_src};")
+    lines.append(f"      if (row == {seq_len - 1}) begin")
+    lines.append(f"        score <= next_{cols};")
+    lines.append("        done <= 1;")
+    lines.append("        busy <= 0;")
+    lines.append("      end else begin")
+    lines.append("        row <= row + 1;")
+    lines.append("      end")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
