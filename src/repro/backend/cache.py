@@ -23,7 +23,18 @@ that here:
   recompiles on every eval; most evals barely change the netlist).
 
 Both caches are thread-safe: compile workers populate them from the
-background pool while the runtime thread reads.
+background pool while the runtime thread reads.  Under the multi-tenant
+server (DESIGN.md §4.6) one :class:`BitstreamCache` and one
+:class:`PlacementCache` are shared by *every* session's
+:class:`~repro.backend.compiler.CompileService`, so all public methods
+take the instance lock; the mutable state a lock does **not** cover —
+the :class:`CacheEntry` objects themselves — is treated as immutable
+after construction (entries are replaced, never edited in place).
+
+The :class:`BitstreamCache` additionally hosts the **single-flight
+registry**: while a compile of some key is in flight, later submissions
+of the same key (typically from other tenants) attach to the leader's
+result future instead of running the flow again.
 """
 
 from __future__ import annotations
@@ -33,14 +44,15 @@ import json
 import os
 import threading
 from collections import OrderedDict
+from concurrent.futures import Future
 from typing import Dict, Optional, Tuple
 
 from ..verilog.elaborate import Design
 from .netlist import Netlist
 from .pycompile import CompiledDesign
 
-__all__ = ["BitstreamCache", "CacheEntry", "PlacementCache",
-           "design_cache_key"]
+__all__ = ["BitstreamCache", "CacheEntry", "InflightCompile",
+           "PlacementCache", "design_cache_key"]
 
 Coord = Tuple[int, int]
 
@@ -103,6 +115,37 @@ def _rehydrate(design: Design, payload: Dict) -> CacheEntry:
                       payload.get("flow_summary"))
 
 
+class InflightCompile:
+    """One in-flight compilation in the single-flight registry.
+
+    The leader's worker future is bridged onto ``proxy`` (a bare
+    :class:`~concurrent.futures.Future` resolving to the worker's
+    ``(compiled, resources, error)`` tuple) so followers can attach
+    before the leader's real future even exists.  ``joiners`` counts
+    attached followers; a leader with joiners must not be cancelled —
+    its result is somebody else's compile.
+    """
+
+    def __init__(self, key: str):
+        self.key = key
+        self.proxy: Future = Future()
+        self.joiners = 0
+
+    def bridge(self, future: Future) -> None:
+        """Forward the worker future's outcome to the proxy."""
+        def _done(f: Future) -> None:
+            try:
+                if f.cancelled():
+                    self.proxy.cancel()
+                elif f.exception() is not None:
+                    self.proxy.set_exception(f.exception())
+                else:
+                    self.proxy.set_result(f.result())
+            except Exception:
+                pass  # proxy already resolved — nothing to forward
+        future.add_done_callback(_done)
+
+
 class BitstreamCache:
     """In-memory LRU of :class:`CacheEntry` with an optional disk layer.
 
@@ -117,10 +160,12 @@ class BitstreamCache:
         self.disk_dir = disk_dir or os.environ.get("CASCADE_CACHE_DIR")
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        self._inflight: Dict[str, InflightCompile] = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.single_flight_joins = 0
 
     # ------------------------------------------------------------------
     def get(self, key: str, design: Optional[Design] = None
@@ -165,7 +210,65 @@ class BitstreamCache:
         with self._lock:
             return {"entries": len(self._entries), "hits": self.hits,
                     "misses": self.misses, "disk_hits": self.disk_hits,
-                    "evictions": self.evictions}
+                    "evictions": self.evictions,
+                    "in_flight": len(self._inflight),
+                    "single_flight_joins": self.single_flight_joins}
+
+    # -- single-flight registry -----------------------------------------
+    def inflight_begin(self, key: str
+                       ) -> Tuple[bool, InflightCompile]:
+        """Atomically claim or join the in-flight compile of ``key``.
+
+        Returns ``(True, entry)`` when the caller is the *leader* (it
+        must run the compile, bridge its worker future onto
+        ``entry.proxy``, and eventually call :meth:`inflight_finish`);
+        ``(False, entry)`` when a compile of the same key is already in
+        flight — the caller attaches to ``entry.proxy`` and does no
+        host work of its own.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.joiners += 1
+                self.single_flight_joins += 1
+                return False, entry
+            entry = InflightCompile(key)
+            self._inflight[key] = entry
+            return True, entry
+
+    def inflight_finish(self, key: str,
+                        entry: Optional[InflightCompile] = None) -> None:
+        """Remove ``key`` from the registry (idempotent).
+
+        When ``entry`` is given, only that exact entry is removed — a
+        cancelled leader and the worker's ``finally`` may both call
+        this, possibly after a new leader has claimed the key.
+        """
+        with self._lock:
+            current = self._inflight.get(key)
+            if current is not None and \
+                    (entry is None or current is entry):
+                del self._inflight[key]
+
+    def inflight_leave(self, entry: InflightCompile) -> None:
+        """A follower stopped waiting on ``entry`` (its program
+        changed); drop its seat so a joiner-free leader can be
+        cancelled by its own service later."""
+        with self._lock:
+            if entry.joiners > 0:
+                entry.joiners -= 1
+
+    def inflight_cancellable(self, key: str,
+                             entry: InflightCompile) -> bool:
+        """True if ``entry`` leads ``key`` and has no joiners; when so,
+        the key is atomically removed so nobody can join a future that
+        is about to be cancelled."""
+        with self._lock:
+            if self._inflight.get(key) is entry and \
+                    entry.joiners == 0:
+                del self._inflight[key]
+                return True
+            return False
 
     # -- disk layer ------------------------------------------------------
     def _path(self, key: str) -> Optional[str]:

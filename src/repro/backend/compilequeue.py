@@ -41,6 +41,7 @@ how many annealing seeds a cold placement fans across it.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, \
@@ -48,7 +49,8 @@ from concurrent.futures import Future, ProcessPoolExecutor, \
 from typing import Callable, Optional
 
 __all__ = ["CompileQueue", "shared_queue", "shared_fast_queue",
-           "shared_flow_queue", "default_place_starts"]
+           "shared_flow_queue", "default_place_starts",
+           "shutdown_shared_pools"]
 
 
 def _default_workers() -> int:
@@ -117,6 +119,9 @@ class CompileQueue:
         self.degraded = False
         self._executor = None
         self._lock = threading.Lock()
+        # Guarded by _lock: submit() is called from many session/worker
+        # threads at once under the multi-tenant server, and a bare
+        # ``+= 1`` would lose counts.
         self.submitted = 0
 
     # ------------------------------------------------------------------
@@ -141,7 +146,8 @@ class CompileQueue:
             return self._executor
 
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
-        self.submitted += 1
+        with self._lock:
+            self.submitted += 1
         if self.max_workers == 0:
             future: Future = Future()
             try:
@@ -224,3 +230,25 @@ def shared_flow_queue() -> CompileQueue:
             _shared_flow = CompileQueue(name="cascade-flow",
                                         kind="process")
         return _shared_flow
+
+
+def shutdown_shared_pools(wait: bool = True) -> None:
+    """Shut down every process-wide pool and forget it.
+
+    The server daemon calls this on graceful drain, and an ``atexit``
+    hook calls it for plain pytest/REPL runs, so neither exits with
+    dangling flow-lane worker processes.  Idempotent: a second call
+    finds no pools, and a later :func:`shared_queue` (etc.) lazily
+    creates a fresh one — safe for in-process servers that start and
+    stop several times in one test run.
+    """
+    global _shared, _shared_fast, _shared_flow
+    with _shared_lock:
+        pools = [p for p in (_shared, _shared_fast, _shared_flow)
+                 if p is not None]
+        _shared = _shared_fast = _shared_flow = None
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_shared_pools, wait=False)

@@ -41,7 +41,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import CancelledError
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..common.errors import SynthesisError
 from ..ir.build import Subprogram
@@ -103,6 +103,10 @@ class CompileJob:
         self.submitted_s = submitted_s
         self.duration_s = duration_s
         self.cache_hit = cache_hit
+        #: True when this job attached to another in-flight compile of
+        #: the same key (single-flight dedup) instead of running its
+        #: own worker.  Its future is the *leader's* result proxy.
+        self.single_flight = False
         self.delivered = False
         self._resources = dict(resources)
         self._compiled = compiled
@@ -112,6 +116,8 @@ class CompileJob:
             or error is not None
         self._cancel_requested = False
         self._service = service
+        self._cache_key: Optional[str] = None
+        self._inflight = None  # InflightCompile while leader/follower
         #: Set once this job's flow stage has run (or been skipped /
         #: cancelled).  Flow stages execute in submission order so
         #: warm-start placement lookups are deterministic — a job only
@@ -208,7 +214,8 @@ class CompileService:
                  cache_hit_latency_s: float = 1.0,
                  warm_start_effort: float = 0.35,
                  flow_queue: Optional[CompileQueue] = None,
-                 place_starts: Optional[int] = None):
+                 place_starts: Optional[int] = None,
+                 isolate_virtual_time: bool = False):
         self.model = model or CompilerModel()
         self.latency_scale = latency_scale
         #: When positive, designs whose estimated LUT count is at or
@@ -237,6 +244,18 @@ class CompileService:
         #: recompiled (mirrors real Cascade's compilation cache).
         self.cache_hit_latency_s = cache_hit_latency_s
         self.warm_start_effort = warm_start_effort
+        #: Multi-tenant virtual-time isolation (DESIGN.md §4.6).  When
+        #: this service shares its caches with other tenants' services,
+        #: a key *this* service has never submitted may be resolved by
+        #: another tenant's work — a cross-tenant cache hit or a
+        #: single-flight join.  With isolation on, such a result still
+        #: costs the full modeled compile duration in *virtual* time
+        #: (only host work is deduped), so a session's virtual timeline
+        #: is bit-identical to running alone with a cold cache: one
+        #: tenant can neither observe nor perturb another through
+        #: timing.  Session-local recompiles keep the collapsed
+        #: reprogramming latency, exactly as a solo runtime would.
+        self.isolate_virtual_time = isolate_virtual_time
         self.jobs: List[CompileJob] = []
         self.compiles_attempted = 0
         self.compiles_failed = 0
@@ -244,6 +263,9 @@ class CompileService:
         self.cache_hits = 0
         self.cache_misses = 0
         self.warm_starts = 0
+        self.cross_tenant_hits = 0
+        self.single_flight_joins = 0
+        self._session_keys: Set[str] = set()
         self._host_s: Dict[str, float] = {
             "submit_s": 0.0, "codegen_s": 0.0, "flow_s": 0.0,
             "wait_s": 0.0}
@@ -277,7 +299,8 @@ class CompileService:
         synthesizability check and the resource estimate.
         """
         t0 = time.perf_counter()
-        self.compiles_attempted += 1
+        with self._lock:
+            self.compiles_attempted += 1
         if design is None:
             design = elaborate_leaf(subprogram.module_ast)
         violations = check_design(design)
@@ -293,36 +316,74 @@ class CompileService:
             self.full_flow_max_luts)
         entry = self.cache.get(key, design)
         if entry is not None:
-            # Cache hit: no host work, and only the constant
-            # device-reprogramming cost in virtual time.
-            self.cache_hits += 1
-            if entry.error is not None:
-                self.compiles_failed += 1
-            duration = self.cache_hit_latency_s * self.latency_scale
+            # Cache hit: no host work.  A *session-local* hit (this
+            # service compiled the key before) costs only the constant
+            # device-reprogramming latency in virtual time.  A
+            # *cross-tenant* hit (another service sharing this cache
+            # compiled it) costs the same — unless virtual-time
+            # isolation is on, in which case this session is charged
+            # the full modeled duration it would have paid alone.
+            local = key in self._session_keys
+            with self._lock:
+                self.cache_hits += 1
+                if not local:
+                    self.cross_tenant_hits += 1
+                if entry.error is not None:
+                    self.compiles_failed += 1
+            if self.isolate_virtual_time and not local:
+                duration = self.model.duration_s(resources["luts"]) \
+                    * self.latency_scale
+            else:
+                duration = self.cache_hit_latency_s * self.latency_scale
             job = CompileJob(subprogram, design, now_s, duration,
                              entry.resources, compiled=entry.compiled,
                              error=entry.error, cache_hit=True,
                              service=self)
+            job._cache_key = key
         else:
-            self.cache_misses += 1
+            with self._lock:
+                self.cache_misses += 1
             duration = self.model.duration_s(resources["luts"]) \
                 * self.latency_scale
             job = CompileJob(subprogram, design, now_s, duration,
                              resources, service=self)
-            flow_eligible = bool(
-                self.full_flow_max_luts
-                and resources["luts"] <= self.full_flow_max_luts)
-            if flow_eligible:
-                # Chain flow stages in submission order (worker start
-                # order is FIFO, so the chain cannot deadlock); codegen
-                # still runs fully in parallel.
-                job._flow_prev = self._last_flow_done
-                self._last_flow_done = job._flow_done
-            else:
+            job._cache_key = key
+            leader, inflight = self.cache.inflight_begin(key)
+            job._inflight = inflight
+            if not leader:
+                # Single-flight join: an identical compile is already
+                # in flight (the cross-tenant hot path — but also a
+                # same-session resubmit racing an uncancellable
+                # worker).  Attach to the leader's result instead of
+                # running the flow twice; virtual duration stays the
+                # full modeled cost, so under isolation the timeline
+                # is exactly a solo cold compile's.
+                with self._lock:
+                    self.single_flight_joins += 1
+                job.single_flight = True
                 job._flow_done.set()
-            job._future = self.queue.submit(
-                self._compile_job, job, key, resources, instrumented,
-                flow_eligible)
+                job._future = inflight.proxy
+            else:
+                flow_eligible = bool(
+                    self.full_flow_max_luts
+                    and resources["luts"] <= self.full_flow_max_luts)
+                if flow_eligible:
+                    # Chain flow stages in submission order (worker
+                    # start order is FIFO, so the chain cannot
+                    # deadlock); codegen still runs fully in parallel.
+                    job._flow_prev = self._last_flow_done
+                    self._last_flow_done = job._flow_done
+                else:
+                    job._flow_done.set()
+                try:
+                    job._future = self.queue.submit(
+                        self._compile_job, job, key, resources,
+                        instrumented, flow_eligible)
+                except BaseException:
+                    self.cache.inflight_finish(key, inflight)
+                    raise
+                inflight.bridge(job._future)
+        self._session_keys.add(key)
         self.jobs.append(job)
         self._charge_host("submit_s", time.perf_counter() - t0)
         return job
@@ -339,6 +400,11 @@ class CompileService:
                                            flow_eligible)
         finally:
             job._flow_done.set()
+            # Leave the single-flight registry only after the cache is
+            # populated (the inner call's last step), so a concurrent
+            # submit either joins this worker or hits the cache — it
+            # can never fall between the two and recompile.
+            self.cache.inflight_finish(key, job._inflight)
 
     def _compile_job_inner(self, job: CompileJob, key: str,
                            resources: Dict[str, int],
@@ -404,16 +470,38 @@ class CompileService:
 
         Futures still queued on the pool are cancelled outright;
         running ones finish in the background (their result is
-        discarded, but still populates the cache)."""
+        discarded, but still populates the cache).  Single-flight
+        discipline: a follower never cancels the *leader's* future (it
+        belongs to someone else's compile), and a leader whose result
+        other tenants have joined is left to finish — cancelling it
+        would fail their compiles too."""
         for job in self.jobs:
             if job.delivered:
                 continue
-            self.compiles_cancelled += 1
+            with self._lock:
+                self.compiles_cancelled += 1
+            if job.single_flight:
+                # Follower: just stop waiting; release our seat so the
+                # leader can become cancellable again.
+                job._cancel_requested = True
+                if job._inflight is not None:
+                    self.cache.inflight_leave(job._inflight)
+                continue
+            if job._future is not None and job._inflight is not None:
+                # Leader: only cancellable while nobody has joined
+                # (the check atomically unregisters the key, so no one
+                # can join a future that is about to be cancelled).
+                if self.cache.inflight_cancellable(job._cache_key,
+                                                   job._inflight):
+                    job._cancel_requested = True
+                    if self.queue.cancel(job._future):
+                        # The worker will never run; release anyone
+                        # chained behind this job's flow stage.
+                        job._flow_done.set()
+                continue
             job._cancel_requested = True
             if job._future is not None:
                 if self.queue.cancel(job._future):
-                    # The worker will never run; release anyone chained
-                    # behind this job's flow stage.
                     job._flow_done.set()
         self.jobs = [j for j in self.jobs if j.delivered]
 
@@ -446,6 +534,8 @@ class CompileService:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "warm_starts": self.warm_starts,
+            "cross_tenant_hits": self.cross_tenant_hits,
+            "single_flight_joins": self.single_flight_joins,
             "in_flight": sum(1 for j in self.jobs
                              if not j.delivered and not j.host_done),
             "host_seconds": host,

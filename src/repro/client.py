@@ -1,0 +1,204 @@
+"""Client library for the multi-tenant Cascade server.
+
+Speaks the length-prefixed JSON framing of :mod:`repro.server.protocol`
+over TCP or a unix-domain socket::
+
+    from repro.client import connect
+
+    with connect(("127.0.0.1", 8765)) as session:
+        errors = session.eval("reg [3:0] n = 0;")
+        print(session.command(":time"))
+        for line in session.drain_output():
+            print(line)
+
+The API is synchronous: each request blocks until its ``result`` frame
+arrives.  ``output`` frames streamed by the server while a request is
+in flight (or between requests) accumulate in ``session.output`` and
+are consumed with :meth:`Session.drain_output`.  A server ``goodbye``
+raises :class:`SessionClosed` from the next request (the reason is on
+the exception and on ``session.goodbye_reason``).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Tuple, Union
+
+from .server.protocol import FrameError, recv_frame, send_frame
+
+__all__ = ["Session", "SessionClosed", "connect"]
+
+Address = Union[str, Tuple[str, int]]
+
+
+class SessionClosed(Exception):
+    """The server ended the session (see ``reason``)."""
+
+    def __init__(self, reason: Optional[str]):
+        super().__init__(f"session closed by server "
+                         f"({reason or 'connection lost'})")
+        self.reason = reason
+
+
+class Session:
+    """One tenant session against a Cascade server."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._next_id = 1
+        self.session_id: Optional[int] = None
+        self.server_info: dict = {}
+        self.goodbye_reason: Optional[str] = None
+        #: Streamed program output not yet consumed, as (kind, line).
+        self.output: List[Tuple[str, str]] = []
+        self._closed = False
+        welcome = self._recv()
+        if welcome.get("type") == "goodbye":
+            self.goodbye_reason = welcome.get("reason")
+            self._closed = True
+            raise SessionClosed(self.goodbye_reason)
+        if welcome.get("type") != "welcome":
+            raise FrameError(
+                f"expected welcome, got {welcome.get('type')!r}")
+        self.session_id = welcome.get("session")
+        self.server_info = welcome
+
+    # -- plumbing ------------------------------------------------------
+    def _recv(self) -> dict:
+        frame = recv_frame(self._sock)
+        if frame is None:
+            self._closed = True
+            raise SessionClosed(self.goodbye_reason)
+        return frame
+
+    def _send(self, frame: dict) -> int:
+        if self._closed:
+            raise SessionClosed(self.goodbye_reason)
+        request_id = self._next_id
+        self._next_id += 1
+        frame["id"] = request_id
+        send_frame(self._sock, frame)
+        return request_id
+
+    def _wait(self, request_id: int, timeout: Optional[float] = None
+              ) -> dict:
+        """Read frames until the matching result; buffer output."""
+        self._sock.settimeout(timeout)
+        try:
+            while True:
+                frame = self._recv()
+                kind = frame.get("type")
+                if kind == "output":
+                    self.output.append((frame.get("kind", "stdout"),
+                                        frame.get("line", "")))
+                elif kind == "goodbye":
+                    self.goodbye_reason = frame.get("reason")
+                    self._closed = True
+                    raise SessionClosed(self.goodbye_reason)
+                elif kind in ("result", "error") and \
+                        frame.get("id") == request_id:
+                    return frame
+                # Results for other ids (pipelined senders) and
+                # untargeted errors are dropped: this client issues one
+                # request at a time.
+        finally:
+            try:
+                self._sock.settimeout(None)
+            except OSError:
+                pass
+
+    # -- API -----------------------------------------------------------
+    def eval(self, src: str,
+             timeout: Optional[float] = None) -> List[str]:
+        """Eval a chunk of Verilog; returns error messages ([] = ok)."""
+        request_id = self._send({"type": "eval", "src": src})
+        result = self._wait(request_id, timeout)
+        return list(result.get("errors") or [])
+
+    def command(self, line: str,
+                timeout: Optional[float] = None) -> str:
+        """Run a ``:command``; returns its output text."""
+        request_id = self._send({"type": "command", "line": line})
+        result = self._wait(request_id, timeout)
+        if not result.get("ok", False):
+            errors = result.get("errors") or [result.get("message")]
+            return "; ".join(str(e) for e in errors if e)
+        return str(result.get("text", ""))
+
+    def server_stats(self, timeout: Optional[float] = None) -> dict:
+        """Server-level counters (sessions, frames, dedup, tiers)."""
+        request_id = self._send({"type": "server-stats"})
+        result = self._wait(request_id, timeout)
+        return result.get("stats") or {}
+
+    def send_command(self, line: str) -> int:
+        """Fire a command without waiting (see :meth:`wait`) — lets a
+        caller overlap a long ``:run`` with other sessions' work."""
+        return self._send({"type": "command", "line": line})
+
+    def wait(self, request_id: int,
+             timeout: Optional[float] = None) -> dict:
+        """Collect the result of an earlier :meth:`send_command`."""
+        return self._wait(request_id, timeout)
+
+    def drain_output(self) -> List[str]:
+        """Take buffered program output lines (stdout only)."""
+        lines = [line for kind, line in self.output
+                 if kind == "stdout"]
+        self.output = []
+        return lines
+
+    def wait_goodbye(self, timeout: Optional[float] = None) -> str:
+        """Block until the server says goodbye; returns the reason."""
+        self._sock.settimeout(timeout)
+        try:
+            while True:
+                frame = self._recv()
+                if frame.get("type") == "goodbye":
+                    self.goodbye_reason = frame.get("reason")
+                    self._closed = True
+                    return self.goodbye_reason or ""
+                if frame.get("type") == "output":
+                    self.output.append((frame.get("kind", "stdout"),
+                                        frame.get("line", "")))
+        except SessionClosed:
+            return self.goodbye_reason or ""
+        finally:
+            try:
+                self._sock.settimeout(None)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Say bye and drop the connection."""
+        if not self._closed:
+            try:
+                send_frame(self._sock, {"type": "bye"})
+                self.wait_goodbye(timeout=5.0)
+            except (OSError, FrameError, SessionClosed):
+                pass
+            self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(address: Address, timeout: float = 10.0) -> Session:
+    """Open a session: a unix-socket path or a ``(host, port)`` pair."""
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address)
+    else:
+        sock = socket.create_connection(tuple(address),
+                                        timeout=timeout)
+    sock.settimeout(None)
+    return Session(sock)

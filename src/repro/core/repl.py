@@ -35,6 +35,7 @@ class Repl:
                  run_between_inputs: int = 64):
         self.runtime = runtime or Runtime(echo=True)
         self.run_between_inputs = run_between_inputs
+        self._shown = 0  # output lines already drained
 
     # ------------------------------------------------------------------
     def feed(self, text: str) -> List[str]:
@@ -59,6 +60,19 @@ class Repl:
         """Batch mode: process a whole file (the process is the same)."""
         with open(path, "r", encoding="utf-8") as f:
             return self.feed(f.read())
+
+    def drain_output(self) -> List[str]:
+        """Program output produced since the last drain.
+
+        The controller half of the view pattern for headless hosts: the
+        interactive loop and the network server both call this after
+        each work item instead of tracking indices into
+        ``runtime.output_lines`` themselves.
+        """
+        lines = self.runtime.output_lines
+        new = lines[self._shown:]
+        self._shown = len(lines)
+        return new
 
     # ------------------------------------------------------------------
     def command(self, line: str) -> Optional[str]:
@@ -99,6 +113,8 @@ class Repl:
                 f"bitstream cache: {s['cache_hits']} hit / "
                 f"{s['cache_misses']} miss "
                 f"({s['bitstream_cache']['entries']} entries)",
+                f"cross-tenant: {s['cross_tenant_hits']} cache hits, "
+                f"{s['single_flight_joins']} single-flight joins",
                 f"placement cache: {s['warm_starts']} warm starts "
                 f"({s['placement_cache']['entries']} entries)",
                 f"flow lane: {s['flow_lane']['kind']} x"
@@ -134,7 +150,6 @@ class Repl:
         stdout = stdout or sys.stdout
         stdout.write(_BANNER)
         buffer: List[str] = []
-        shown = 0
         while True:
             prompt = "....... " if buffer else "CASCADE >>> "
             stdout.write(prompt)
@@ -164,9 +179,8 @@ class Repl:
             buffer = []
             for error in self.feed(text):
                 stdout.write(f"error: {error}\n")
-            for out_line in self.runtime.output_lines[shown:]:
+            for out_line in self.drain_output():
                 stdout.write(out_line + "\n")
-            shown = len(self.runtime.output_lines)
 
     @staticmethod
     def _complete(text: str) -> bool:

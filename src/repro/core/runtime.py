@@ -90,7 +90,8 @@ class Runtime:
                  enable_forwarding: bool = True,
                  enable_open_loop: bool = True,
                  implicit_stdlib: bool = True,
-                 echo: bool = False):
+                 echo: bool = False,
+                 view: Optional[View] = None):
         self.board = board or VirtualBoard()
         self.time_model = time_model or TimeModel()
         self.compiler = compile_service or CompileService()
@@ -99,7 +100,10 @@ class Runtime:
         self.enable_sw_fastpath = enable_sw_fastpath
         self.enable_forwarding = enable_forwarding
         self.enable_open_loop = enable_open_loop
-        self.view = View(echo)
+        # The view is injectable so headless hosts (the network server)
+        # can observe output as it is produced rather than polling
+        # ``output_lines`` — any View subclass works.
+        self.view = view if view is not None else View(echo)
         self.perf = PerfTrace()
         self.interrupts = InterruptQueue()
 

@@ -1,0 +1,19 @@
+"""The multi-tenant Cascade server (DESIGN.md §4.6).
+
+A long-running daemon that hosts one sandboxed ``Runtime`` + ``Repl``
+session per network connection, multiplexes every session onto the
+process-wide compile/flow/fast-path pools, and dedups identical
+compiles across tenants through the shared content-addressed bitstream
+cache — the SYNERGY-style serving layer on top of the Cascade runtime.
+"""
+
+from .daemon import CascadeServer, main_address
+from .protocol import (FrameError, MAX_FRAME_BYTES, recv_frame,
+                       send_frame)
+from .scheduler import SessionScheduler, default_window_budget
+from .session import Session, default_max_sessions
+
+__all__ = ["CascadeServer", "FrameError", "MAX_FRAME_BYTES",
+           "SessionScheduler", "Session", "default_max_sessions",
+           "default_window_budget", "main_address", "recv_frame",
+           "send_frame"]

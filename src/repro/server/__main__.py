@@ -1,0 +1,75 @@
+"""``python -m repro.server`` — run the multi-tenant Cascade daemon.
+
+Examples::
+
+    python -m repro.server --socket /tmp/cascade.sock
+    python -m repro.server --host 0.0.0.0 --port 8765
+
+SIGTERM (and SIGINT) drain gracefully: in-flight simulation windows
+finish, every session receives a ``goodbye`` frame, and the
+process-wide worker pools are joined before exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from ..backend.compilequeue import shutdown_shared_pools
+from .daemon import CascadeServer, main_address
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Multi-tenant Cascade server daemon")
+    parser.add_argument("--socket", metavar="PATH",
+                        help="listen on a unix-domain socket")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP bind port (default 8765)")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="admission cap (CASCADE_MAX_SESSIONS)")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="seconds before idle eviction (0 = off)")
+    parser.add_argument("--window-budget", type=float, default=None,
+                        help="virtual seconds per session per turn "
+                             "(CASCADE_SESSION_WINDOW_BUDGET)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    server = CascadeServer(
+        address=main_address(args),
+        max_sessions=args.max_sessions,
+        idle_timeout_s=args.idle_timeout,
+        window_budget_s=args.window_budget)
+    server.start()
+    where = server.address if isinstance(server.address, str) else \
+        f"{server.address[0]}:{server.address[1]}"
+    print(f"cascade-server listening on {where} "
+          f"(max {server.max_sessions} sessions)", flush=True)
+
+    done = threading.Event()
+
+    def _terminate(signum, frame):
+        done.set()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    done.wait()
+    print("cascade-server draining...", flush=True)
+    server.shutdown(drain=True)
+    shutdown_shared_pools()
+    print("cascade-server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

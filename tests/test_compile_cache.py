@@ -317,6 +317,132 @@ class TestWarmStartPlacement:
         assert shared.hits == 1
 
 
+class _GatedQueue(CompileQueue):
+    """A queue whose workers block on a gate, so tests can hold a
+    compile in flight while other services submit the same key."""
+
+    def __init__(self, max_workers=2):
+        super().__init__(max_workers=max_workers, name="gated")
+        self.gate = threading.Event()
+
+    def submit(self, fn, *args, **kwargs):
+        gate = self.gate
+
+        def gated(*a, **k):
+            gate.wait(30)
+            return fn(*a, **k)
+
+        return super().submit(gated, *args, **kwargs)
+
+
+class TestSingleFlight:
+    """Two tenants compiling the same key while it is in flight share
+    one flow run (the cross-tenant half of SYNERGY-style dedup)."""
+
+    def _pair(self):
+        cache = BitstreamCache()
+        placements = PlacementCache()
+        queue = _GatedQueue()
+        s1 = CompileService(cache=cache, placements=placements,
+                            queue=queue)
+        s2 = CompileService(cache=cache, placements=placements,
+                            queue=queue)
+        return cache, queue, s1, s2
+
+    def test_second_submission_joins_the_leader(self):
+        cache, queue, s1, s2 = self._pair()
+        job1 = s1.submit(sub_of(COUNTER), 0.0)
+        job2 = s2.submit(sub_of(COUNTER), 0.0)
+        assert not job1.single_flight
+        assert job2.single_flight
+        assert s2.single_flight_joins == 1
+        # The follower submitted nothing: one worker, one flow run.
+        assert queue.submitted == 1
+        assert cache.stats()["in_flight"] == 1
+        assert cache.stats()["single_flight_joins"] == 1
+        queue.gate.set()
+        assert job1.compiled is not None
+        assert job2.compiled is job1.compiled
+        assert job2.error is None
+        # Full virtual price for both: host work is deduped, virtual
+        # compile time is not (the join is invisible in the timeline).
+        assert job2.duration_s == job1.duration_s
+        assert cache.stats()["in_flight"] == 0
+
+    def test_leader_with_joiners_is_not_cancelled(self):
+        cache, queue, s1, s2 = self._pair()
+        job1 = s1.submit(sub_of(COUNTER), 0.0)
+        job2 = s2.submit(sub_of(COUNTER), 0.0)
+        s1.cancel_all()  # tenant 1's program changed under the compile
+        # The leader's result is tenant 2's compile: it must survive.
+        assert not job1._cancel_requested
+        queue.gate.set()
+        assert job2.compiled is not None
+        assert job2.error is None
+        # ...and the artifact still landed in the shared cache.
+        job3 = s2.submit(sub_of(COUNTER), 100.0)
+        assert job3.cache_hit
+
+    def test_leader_cancellable_after_follower_leaves(self):
+        cache, queue, s1, s2 = self._pair()
+        job1 = s1.submit(sub_of(COUNTER), 0.0)
+        s2.submit(sub_of(COUNTER), 0.0)
+        s2.cancel_all()  # the follower gives up its seat...
+        s1.cancel_all()  # ...so the leader is cancellable again
+        assert job1._cancel_requested
+        queue.gate.set()
+        assert job1.compiled is None
+        assert "cancelled" in job1.error
+        # A cancelled compile never populates the cache: the next
+        # submission is a fresh miss with a fresh leader.
+        s3 = CompileService(cache=cache, queue=CompileQueue(0))
+        job4 = s3.submit(sub_of(COUNTER), 0.0)
+        assert not job4.cache_hit and not job4.single_flight
+        assert job4.compiled is not None
+
+    def test_finished_compile_is_a_hit_not_a_join(self):
+        cache, queue, s1, s2 = self._pair()
+        queue.gate.set()  # nothing blocks
+        job1 = s1.submit(sub_of(COUNTER), 0.0)
+        assert job1.compiled is not None
+        job2 = s2.submit(sub_of(COUNTER), 0.0)
+        assert job2.cache_hit and not job2.single_flight
+        assert s2.cross_tenant_hits == 1
+        assert s2.single_flight_joins == 0
+
+
+class TestVirtualTimeIsolation:
+    """DESIGN.md §4.6: cross-tenant dedup saves host work only — with
+    isolation on, a tenant's virtual timeline is bit-identical to
+    running alone against a cold cache."""
+
+    def test_cross_tenant_hit_charges_full_duration(self):
+        cache = BitstreamCache()
+        s1 = CompileService(cache=cache, isolate_virtual_time=True)
+        job1 = s1.submit(sub_of(COUNTER), 0.0)
+        assert job1.compiled is not None
+        s2 = CompileService(cache=cache, isolate_virtual_time=True)
+        job2 = s2.submit(sub_of(COUNTER), 0.0)
+        assert job2.cache_hit
+        assert s2.cross_tenant_hits == 1
+        # Tenant 2 pays what it would have paid alone...
+        assert job2.duration_s == job1.duration_s
+        assert job2.duration_s > s2.cache_hit_latency_s
+        # ...but a *local* recompile keeps the collapsed latency, just
+        # like a solo runtime's compilation cache.
+        job3 = s2.submit(sub_of(COUNTER), 100.0)
+        assert job3.duration_s == s2.cache_hit_latency_s
+
+    def test_without_isolation_hits_collapse(self):
+        cache = BitstreamCache()
+        s1 = CompileService(cache=cache)
+        assert s1.submit(sub_of(COUNTER), 0.0).compiled is not None
+        s2 = CompileService(cache=cache)
+        job = s2.submit(sub_of(COUNTER), 0.0)
+        assert job.cache_hit
+        assert job.duration_s == s2.cache_hit_latency_s
+
+
 class TestServiceStats:
     def test_stats_shape(self):
         service = CompileService()
