@@ -44,9 +44,10 @@ import json
 import os
 import threading
 from collections import OrderedDict
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Dict, Optional, Tuple
 
+from ..obs import Counter, MetricsRegistry, tracer
 from ..verilog.elaborate import Design
 from .netlist import Netlist
 from .pycompile import CompiledDesign
@@ -126,13 +127,25 @@ class InflightCompile:
     its result is somebody else's compile.
     """
 
-    def __init__(self, key: str):
+    def __init__(self, key: str, races: Optional[Counter] = None):
         self.key = key
         self.proxy: Future = Future()
         self.joiners = 0
+        #: Counts already-resolved-proxy races swallowed by bridge()
+        #: (normally the registering cache's ``cache.bridge_races``).
+        self._races = races
 
     def bridge(self, future: Future) -> None:
-        """Forward the worker future's outcome to the proxy."""
+        """Forward the worker future's outcome to the proxy.
+
+        The only benign failure here is the already-resolved-proxy
+        race (a cancelled leader re-claimed by a new submit while the
+        old worker finishes): exactly that — ``InvalidStateError``
+        from the ``set_*``/``cancel`` calls — is swallowed and
+        counted.  Anything else (e.g. a broken future whose
+        ``exception()`` raises) propagates to the executor's callback
+        handler instead of disappearing.
+        """
         def _done(f: Future) -> None:
             try:
                 if f.cancelled():
@@ -141,8 +154,11 @@ class InflightCompile:
                     self.proxy.set_exception(f.exception())
                 else:
                     self.proxy.set_result(f.result())
-            except Exception:
-                pass  # proxy already resolved — nothing to forward
+            except InvalidStateError:
+                # Proxy already resolved: the benign race, not an
+                # error — but visible in the metrics registry.
+                if self._races is not None:
+                    self._races.inc()
         future.add_done_callback(_done)
 
 
@@ -155,17 +171,53 @@ class BitstreamCache:
     """
 
     def __init__(self, capacity: int = 128,
-                 disk_dir: Optional[str] = None):
+                 disk_dir: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.capacity = capacity
         self.disk_dir = disk_dir or os.environ.get("CASCADE_CACHE_DIR")
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: Dict[str, InflightCompile] = {}
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.evictions = 0
-        self.single_flight_joins = 0
+        #: The metrics registry all cache counters live in (shared
+        #: with the owning service or server when one is passed in).
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self._c_hits = self.metrics.counter("cache.hits")
+        self._c_misses = self.metrics.counter("cache.misses")
+        self._c_disk_hits = self.metrics.counter("cache.disk_hits")
+        self._c_disk_corrupt = self.metrics.counter("cache.disk_corrupt")
+        self._c_evictions = self.metrics.counter("cache.evictions")
+        self._c_joins = self.metrics.counter("cache.single_flight_joins")
+        self._c_bridge_races = self.metrics.counter("cache.bridge_races")
+
+    # Historical counter attributes, now views over the registry.
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def disk_hits(self) -> int:
+        return self._c_disk_hits.value
+
+    @property
+    def disk_corrupt(self) -> int:
+        return self._c_disk_corrupt.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_evictions.value
+
+    @property
+    def single_flight_joins(self) -> int:
+        return self._c_joins.value
+
+    @property
+    def bridge_races(self) -> int:
+        return self._c_bridge_races.value
 
     # ------------------------------------------------------------------
     def get(self, key: str, design: Optional[Design] = None
@@ -174,16 +226,16 @@ class BitstreamCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._c_hits.inc()
                 return entry
         entry = self._disk_get(key, design)
         with self._lock:
             if entry is not None:
-                self.hits += 1
-                self.disk_hits += 1
+                self._c_hits.inc()
+                self._c_disk_hits.inc()
                 self._insert(key, entry)
             else:
-                self.misses += 1
+                self._c_misses.inc()
         return entry
 
     def put(self, key: str, entry: CacheEntry) -> None:
@@ -196,7 +248,7 @@ class BitstreamCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._c_evictions.inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -210,9 +262,11 @@ class BitstreamCache:
         with self._lock:
             return {"entries": len(self._entries), "hits": self.hits,
                     "misses": self.misses, "disk_hits": self.disk_hits,
+                    "disk_corrupt": self.disk_corrupt,
                     "evictions": self.evictions,
                     "in_flight": len(self._inflight),
-                    "single_flight_joins": self.single_flight_joins}
+                    "single_flight_joins": self.single_flight_joins,
+                    "bridge_races": self.bridge_races}
 
     # -- single-flight registry -----------------------------------------
     def inflight_begin(self, key: str
@@ -230,9 +284,9 @@ class BitstreamCache:
             entry = self._inflight.get(key)
             if entry is not None:
                 entry.joiners += 1
-                self.single_flight_joins += 1
+                self._c_joins.inc()
                 return False, entry
-            entry = InflightCompile(key)
+            entry = InflightCompile(key, races=self._c_bridge_races)
             self._inflight[key] = entry
             return True, entry
 
@@ -285,8 +339,30 @@ class BitstreamCache:
             with open(path, "r", encoding="utf-8") as f:
                 payload = json.load(f)
             return _rehydrate(design, payload)
-        except Exception:
-            return None  # a corrupt entry is just a miss
+        except OSError:
+            return None  # unreadable right now; nothing to clean up
+        except Exception as exc:
+            # Corrupt or truncated entry.  Leaving the file in place
+            # would re-parse and re-fail on *every* lookup of this key;
+            # quarantine it (delete if even the rename fails) so the
+            # next lookup is an honest miss that recompiles and
+            # rewrites the entry.
+            self._quarantine(path, key, exc)
+            return None
+
+    def _quarantine(self, path: str, key: str, exc: Exception) -> None:
+        self._c_disk_corrupt.inc()
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        tr = tracer()
+        if tr.enabled:
+            tr.emit("disk_corrupt", "cache",
+                    args={"key": key, "error": str(exc)})
 
     def _disk_put(self, key: str, entry: CacheEntry) -> None:
         path = self._path(key)
@@ -328,12 +404,23 @@ class PlacementCache:
     placement ("warm start"), at a fraction of the move budget.
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64,
+                 registry: Optional[MetricsRegistry] = None):
         self.capacity = capacity
         self._entries: "OrderedDict[str, Dict[str, Coord]]" = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self._c_hits = self.metrics.counter("placement.hits")
+        self._c_misses = self.metrics.counter("placement.misses")
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
 
     @staticmethod
     def signature(netlist: Netlist, device) -> str:
@@ -349,10 +436,10 @@ class PlacementCache:
         with self._lock:
             entry = self._entries.get(signature)
             if entry is None:
-                self.misses += 1
+                self._c_misses.inc()
                 return None
             self._entries.move_to_end(signature)
-            self.hits += 1
+            self._c_hits.inc()
             return dict(entry)
 
     def store(self, signature: str,

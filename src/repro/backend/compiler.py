@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..common.errors import SynthesisError
 from ..ir.build import Subprogram
+from ..obs import MetricsRegistry, tracer
 from ..verilog.elaborate import Design, elaborate_leaf
 from ..verilog.printer import module_to_str
 from .cache import BitstreamCache, CacheEntry, PlacementCache, \
@@ -215,7 +216,14 @@ class CompileService:
                  warm_start_effort: float = 0.35,
                  flow_queue: Optional[CompileQueue] = None,
                  place_starts: Optional[int] = None,
-                 isolate_virtual_time: bool = False):
+                 isolate_virtual_time: bool = False,
+                 registry: Optional[MetricsRegistry] = None):
+        #: The metrics registry all of this service's counters live in
+        #: (DESIGN.md §4.7).  Caches the service creates itself share
+        #: it; caches passed in (the multi-tenant server's shared
+        #: substrate) keep the registry they were built with.
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
         self.model = model or CompilerModel()
         self.latency_scale = latency_scale
         #: When positive, designs whose estimated LUT count is at or
@@ -223,9 +231,10 @@ class CompileService:
         #: exact area and genuine closure failures (§6.4) — instead of
         #: the calibrated estimator.
         self.full_flow_max_luts = full_flow_max_luts
-        self.cache = cache if cache is not None else BitstreamCache()
+        self.cache = cache if cache is not None \
+            else BitstreamCache(registry=self.metrics)
         self.placements = placements if placements is not None \
-            else PlacementCache()
+            else PlacementCache(registry=self.metrics)
         self.queue = queue if queue is not None else shared_queue()
         #: The process-pool lane the CPU-bound place/route/timing
         #: kernels are shipped to (threads above only orchestrate, so
@@ -257,29 +266,80 @@ class CompileService:
         #: reprogramming latency, exactly as a solo runtime would.
         self.isolate_virtual_time = isolate_virtual_time
         self.jobs: List[CompileJob] = []
-        self.compiles_attempted = 0
-        self.compiles_failed = 0
-        self.compiles_cancelled = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.warm_starts = 0
-        self.cross_tenant_hits = 0
-        self.single_flight_joins = 0
+        m = self.metrics
+        self._c_attempted = m.counter("compile.attempted")
+        self._c_failed = m.counter("compile.failed")
+        self._c_cancelled = m.counter("compile.cancelled")
+        self._c_cache_hits = m.counter("compile.cache_hits")
+        self._c_cache_misses = m.counter("compile.cache_misses")
+        self._c_warm_starts = m.counter("compile.warm_starts")
+        self._c_cross_tenant = m.counter("compile.cross_tenant_hits")
+        self._c_joins = m.counter("compile.single_flight_joins")
+        # Per-phase host seconds: totals as counters (the historical
+        # ``host_seconds`` dict), distributions as p50/p99 histograms.
+        for phase in ("submit_s", "codegen_s", "flow_s", "wait_s"):
+            m.counter("compile.host." + phase)
         self._session_keys: Set[str] = set()
-        self._host_s: Dict[str, float] = {
-            "submit_s": 0.0, "codegen_s": 0.0, "flow_s": 0.0,
-            "wait_s": 0.0}
         self._lock = threading.Lock()
         self._last_flow_done: Optional[threading.Event] = None
 
+    # Historical counter attributes, now views over the registry.
+    @property
+    def compiles_attempted(self) -> int:
+        return self._c_attempted.value
+
+    @property
+    def compiles_failed(self) -> int:
+        return self._c_failed.value
+
+    @property
+    def compiles_cancelled(self) -> int:
+        return self._c_cancelled.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._c_cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._c_cache_misses.value
+
+    @property
+    def warm_starts(self) -> int:
+        return self._c_warm_starts.value
+
+    @property
+    def cross_tenant_hits(self) -> int:
+        return self._c_cross_tenant.value
+
+    @property
+    def single_flight_joins(self) -> int:
+        return self._c_joins.value
+
     # ------------------------------------------------------------------
     def _charge_host(self, phase: str, seconds: float) -> None:
-        with self._lock:
-            self._host_s[phase] = self._host_s.get(phase, 0.0) + seconds
+        self.metrics.counter("compile.host." + phase).inc(seconds)
+        self.metrics.histogram(
+            "compile.host." + phase + ".dist").observe(seconds)
+
+    def _trace_phase(self, job: "CompileJob", phase: str,
+                     seconds: float) -> None:
+        """One ``compile_phase`` span, anchored at the job's virtual
+        submission time, host duration from where the work really ran
+        (flow phases: inside the lane worker)."""
+        tr = tracer()
+        if tr.enabled:
+            tr.emit("compile_phase", "compile", dur_us=seconds * 1e6,
+                    virtual_ns=job.submitted_s * 1e9,
+                    tid="compile",
+                    args={"phase": phase,
+                          "subprogram": job.subprogram.name})
+        self.metrics.histogram("compile.phase." + phase) \
+            .observe(seconds)
 
     def estimate(self, design: Design,
                  instrumented: bool = True) -> Dict[str, int]:
-        base = estimate_resources(design)
+        base = estimate_resources(design, metrics=self.metrics)
         if instrumented:
             extra = instrumentation_overhead(design)
             return {k: base.get(k, 0) + extra.get(k, 0) for k in
@@ -299,8 +359,7 @@ class CompileService:
         synthesizability check and the resource estimate.
         """
         t0 = time.perf_counter()
-        with self._lock:
-            self.compiles_attempted += 1
+        self._c_attempted.inc()
         if design is None:
             design = elaborate_leaf(subprogram.module_ast)
         violations = check_design(design)
@@ -324,12 +383,19 @@ class CompileService:
             # isolation is on, in which case this session is charged
             # the full modeled duration it would have paid alone.
             local = key in self._session_keys
-            with self._lock:
-                self.cache_hits += 1
-                if not local:
-                    self.cross_tenant_hits += 1
-                if entry.error is not None:
-                    self.compiles_failed += 1
+            self._c_cache_hits.inc()
+            if not local:
+                self._c_cross_tenant.inc()
+            if entry.error is not None:
+                self._c_failed.inc()
+            tr = tracer()
+            if tr.enabled:
+                tr.emit("cache_hit", "cache",
+                        virtual_ns=now_s * 1e9, tid="compile",
+                        args={"subprogram": subprogram.name,
+                              "key": key[:12],
+                              "cross_tenant": not local,
+                              "failed_entry": entry.error is not None})
             if self.isolate_virtual_time and not local:
                 duration = self.model.duration_s(resources["luts"]) \
                     * self.latency_scale
@@ -341,8 +407,13 @@ class CompileService:
                              service=self)
             job._cache_key = key
         else:
-            with self._lock:
-                self.cache_misses += 1
+            self._c_cache_misses.inc()
+            tr = tracer()
+            if tr.enabled:
+                tr.emit("cache_miss", "cache",
+                        virtual_ns=now_s * 1e9, tid="compile",
+                        args={"subprogram": subprogram.name,
+                              "key": key[:12]})
             duration = self.model.duration_s(resources["luts"]) \
                 * self.latency_scale
             job = CompileJob(subprogram, design, now_s, duration,
@@ -358,8 +429,12 @@ class CompileService:
                 # running the flow twice; virtual duration stays the
                 # full modeled cost, so under isolation the timeline
                 # is exactly a solo cold compile's.
-                with self._lock:
-                    self.single_flight_joins += 1
+                self._c_joins.inc()
+                if tr.enabled:
+                    tr.emit("single_flight_join", "cache",
+                            virtual_ns=now_s * 1e9, tid="compile",
+                            args={"subprogram": subprogram.name,
+                                  "key": key[:12]})
                 job.single_flight = True
                 job._flow_done.set()
                 job._future = inflight.proxy
@@ -421,7 +496,9 @@ class CompileService:
         except Exception as exc:  # compilation itself failed
             compiled = None
             error = str(exc)
-        self._charge_host("codegen_s", time.perf_counter() - t0)
+        codegen_s = time.perf_counter() - t0
+        self._charge_host("codegen_s", codegen_s)
+        self._trace_phase(job, "codegen", codegen_s)
         placement = None
         flow_summary = None
         if compiled is not None and flow_eligible:
@@ -436,10 +513,16 @@ class CompileService:
                                   starts=self.place_starts,
                                   pool=self.flow_queue)
                 if report.placement.warm_started:
-                    with self._lock:
-                        self.warm_starts += 1
+                    self._c_warm_starts.inc()
+                for phase, seconds in sorted(
+                        report.phase_seconds.items()):
+                    # synth_s -> "synth" etc.; durations measured in
+                    # the flow-lane worker that ran the phase.
+                    self._trace_phase(job, phase.rsplit("_", 1)[0],
+                                      seconds)
                 overhead = resources["luts"] - \
-                    estimate_resources(job.design)["luts"]
+                    estimate_resources(job.design,
+                                       metrics=self.metrics)["luts"]
                 resources = dict(resources)
                 resources["luts"] = report.luts + max(overhead, 0)
                 resources["fmax_mhz"] = report.fmax_mhz
@@ -455,8 +538,7 @@ class CompileService:
             finally:
                 self._charge_host("flow_s", time.perf_counter() - t1)
         if error is not None:
-            with self._lock:
-                self.compiles_failed += 1
+            self._c_failed.inc()
         if not job._cancel_requested:
             # Deterministic results are worth caching either way: a
             # failure recompiles to the same failure (§6.4).
@@ -478,8 +560,7 @@ class CompileService:
         for job in self.jobs:
             if job.delivered:
                 continue
-            with self._lock:
-                self.compiles_cancelled += 1
+            self._c_cancelled.inc()
             if job.single_flight:
                 # Follower: just stop waiting; release our seat so the
                 # leader can become cancellable again.
@@ -525,8 +606,9 @@ class CompileService:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Counters and per-phase host times for introspection."""
-        with self._lock:
-            host = dict(self._host_s)
+        host = {phase: self.metrics.value("compile.host." + phase)
+                for phase in ("submit_s", "codegen_s", "flow_s",
+                              "wait_s")}
         return {
             "attempted": self.compiles_attempted,
             "failed": self.compiles_failed,
@@ -536,6 +618,8 @@ class CompileService:
             "warm_starts": self.warm_starts,
             "cross_tenant_hits": self.cross_tenant_hits,
             "single_flight_joins": self.single_flight_joins,
+            "estimate_fallbacks":
+                int(self.metrics.value("estimate.fallbacks")),
             "in_flight": sum(1 for j in self.jobs
                              if not j.delivered and not j.host_done),
             "host_seconds": host,

@@ -12,14 +12,54 @@ on small designs.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from ..obs import MetricsRegistry, global_registry, tracer
 from ..verilog import ast
 from ..verilog.elaborate import Design
 from ..verilog.eval import natural_size
 from ..verilog.visitor import walk
 
 __all__ = ["estimate_resources", "instrumentation_overhead"]
+
+
+class _FallbackLog:
+    """Counts width-inference failures instead of hiding them.
+
+    The estimator used to swallow every ``natural_size`` error behind a
+    bare ``except Exception`` and silently charge a default width — so
+    a genuinely mis-estimating build looked exactly like a healthy one.
+    Each fallback now increments ``estimate.fallbacks`` in the caller's
+    metrics registry (the process-wide one when no registry is in
+    reach) and, when tracing is on, emits an ``estimate_fallback``
+    event naming the node type and the error.
+    """
+
+    __slots__ = ("counter", "design_name")
+
+    def __init__(self, registry: Optional[MetricsRegistry],
+                 design_name: str):
+        registry = registry if registry is not None \
+            else global_registry()
+        self.counter = registry.counter("estimate.fallbacks")
+        self.design_name = design_name
+
+    def note(self, node: object, exc: Exception) -> None:
+        self.counter.inc()
+        tr = tracer()
+        if tr.enabled:
+            tr.emit("estimate_fallback", "compile", args={
+                "design": self.design_name,
+                "node": type(node).__name__,
+                "error": f"{type(exc).__name__}: {exc}"})
+
+    def width_of(self, node: ast.Expr, scope: "_Widths",
+                 default: int) -> int:
+        try:
+            return natural_size(node, scope)[0]
+        except Exception as exc:
+            self.note(node, exc)
+            return default
 
 
 class _Widths:
@@ -65,15 +105,13 @@ class _Widths:
         raise KeyError(name)
 
 
-def _expr_luts(expr: ast.Expr, scope: _Widths) -> int:
+def _expr_luts(expr: ast.Expr, scope: _Widths,
+               log: _FallbackLog) -> int:
     """LUT cost of one expression tree."""
     total = 0
     for node in walk(expr):
-        try:
-            width, _ = natural_size(node, scope) \
-                if isinstance(node, ast.Expr) else (0, False)
-        except Exception:
-            width = 32
+        width = log.width_of(node, scope, 32) \
+            if isinstance(node, ast.Expr) else 0
         if isinstance(node, ast.Binary):
             op = node.op
             if op in ("+", "-"):
@@ -83,11 +121,8 @@ def _expr_luts(expr: ast.Expr, scope: _Widths) -> int:
             elif op in ("/", "%"):
                 total += width * width
             elif op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
-                try:
-                    w = max(natural_size(node.lhs, scope)[0],
-                            natural_size(node.rhs, scope)[0])
-                except Exception:
-                    w = 32
+                w = max(log.width_of(node.lhs, scope, 32),
+                        log.width_of(node.rhs, scope, 32))
                 total += max(w // 2, 1)
             elif op in ("&", "|", "^", "^~", "~^"):
                 total += (width + 1) // 2
@@ -102,10 +137,7 @@ def _expr_luts(expr: ast.Expr, scope: _Widths) -> int:
                 total += width * width
         elif isinstance(node, ast.Unary):
             if node.op in ("&", "~&", "|", "~|", "^", "~^", "^~", "!"):
-                try:
-                    w = natural_size(node.operand, scope)[0]
-                except Exception:
-                    w = 32
+                w = log.width_of(node.operand, scope, 32)
                 total += max(w // 3, 1)
             # ~ and - on top of other logic usually fold into LUTs.
         elif isinstance(node, ast.Ternary):
@@ -113,9 +145,18 @@ def _expr_luts(expr: ast.Expr, scope: _Widths) -> int:
     return total
 
 
-def estimate_resources(design: Design) -> Dict[str, int]:
-    """Estimated {luts, ffs, mem_bits} for a design."""
+def estimate_resources(design: Design,
+                       metrics: Optional[MetricsRegistry] = None
+                       ) -> Dict[str, int]:
+    """Estimated {luts, ffs, mem_bits} for a design.
+
+    Width-inference failures no longer vanish into silent defaults:
+    each one is counted as ``estimate.fallbacks`` in ``metrics`` (the
+    process-wide registry when none is given) and traced, so a build
+    whose estimate is mostly guesswork is visible in ``:stats``.
+    """
     scope = _Widths(design)
+    log = _FallbackLog(metrics, design.name)
     luts = 0
     ffs = 0
     mem_bits = 0
@@ -127,7 +168,7 @@ def estimate_resources(design: Design) -> Dict[str, int]:
                 ffs += var.width
 
     for assign in design.assigns:
-        luts += _expr_luts(assign.rhs, scope)
+        luts += _expr_luts(assign.rhs, scope, log)
     for block in design.always:
         mux_penalty = 0
         for node in walk(block):
@@ -137,17 +178,14 @@ def estimate_resources(design: Design) -> Dict[str, int]:
                 mux_penalty += 1
             if isinstance(node, (ast.BlockingAssign,
                                  ast.NonblockingAssign)):
-                luts += _expr_luts(node.rhs, scope)
-                try:
-                    w, _ = natural_size(node.lhs, scope)
-                except Exception:
-                    w = 8
+                luts += _expr_luts(node.rhs, scope, log)
+                w = log.width_of(node.lhs, scope, 8)
                 # Each conditional level adds enable/select muxing.
                 luts += (w * max(mux_penalty, 1) + 1) // 2
     for fn in design.functions.values():
         for node in walk(fn.body):
             if isinstance(node, ast.BlockingAssign):
-                luts += _expr_luts(node.rhs, scope)
+                luts += _expr_luts(node.rhs, scope, log)
     return {"luts": luts, "ffs": ffs, "mem_bits": mem_bits}
 
 

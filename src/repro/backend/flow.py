@@ -21,7 +21,7 @@ the hint.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..verilog.elaborate import Design
 from .fabric import Device, device_for
@@ -40,7 +40,8 @@ class FlowReport:
     def __init__(self, design: Design, netlist: Netlist,
                  placement: Placement, routing: RoutingResult,
                  timing: TimingReport, device: Device,
-                 wall_seconds: float, starts: int = 1):
+                 wall_seconds: float, starts: int = 1,
+                 phase_seconds: Optional[Dict[str, float]] = None):
         self.design = design
         self.netlist = netlist
         self.placement = placement
@@ -50,6 +51,11 @@ class FlowReport:
         self.wall_seconds = wall_seconds
         #: How many annealing starts competed for this placement.
         self.starts = starts
+        #: Host seconds per flow phase (synth on the orchestrating
+        #: thread; place/route/timing measured *inside* the winning
+        #: candidate's worker, so the numbers are true even when the
+        #: work ran in a flow-lane process).
+        self.phase_seconds: Dict[str, float] = dict(phase_seconds or {})
 
     @property
     def luts(self) -> int:
@@ -75,22 +81,31 @@ class FlowReport:
 
 def _pr_candidate(netlist_payload: tuple, device_payload: tuple,
                   seed: int, effort: float, initial, kernel: str
-                  ) -> Tuple[Placement, RoutingResult, TimingReport]:
+                  ) -> Tuple[Placement, RoutingResult, TimingReport,
+                             Dict[str, float]]:
     """One complete place/route/timing candidate.
 
     Module-level and built entirely from compact payloads so it can run
     in a flow-lane worker *process*; every return value pickles.  Each
     candidate routes and times its own placement — route cost is small
     next to annealing, and the winner arrives fully analyzed in a
-    single round trip.
+    single round trip.  The trailing dict is per-phase host seconds
+    measured inside the worker (plain floats, so they cross the
+    process boundary and feed compile-phase trace events).
     """
     netlist = Netlist.from_payload(netlist_payload)
     device = Device.from_payload(device_payload)
+    t0 = time.perf_counter()
     placement = place(netlist, device, seed=seed, effort=effort,
                       initial=initial, kernel=kernel)
+    t1 = time.perf_counter()
     routing = route(netlist, placement, device)
+    t2 = time.perf_counter()
     timing = analyze_timing(netlist, placement, device)
-    return placement, routing, timing
+    t3 = time.perf_counter()
+    phases = {"place_s": t1 - t0, "route_s": t2 - t1,
+              "timing_s": t3 - t2}
+    return placement, routing, timing, phases
 
 
 def run_flow(design: Design, device: Optional[Device] = None,
@@ -124,6 +139,7 @@ def run_flow(design: Design, device: Optional[Device] = None,
     """
     start = time.perf_counter()
     netlist = synthesize(design)
+    synth_s = time.perf_counter() - start
     if device is None:
         cells = netlist.count("LUT") + netlist.count("FF")
         device = device_for(max(cells, 16))
@@ -139,12 +155,14 @@ def run_flow(design: Design, device: Optional[Device] = None,
         plan = [(seed + k, effort, None) for k in range(max(starts, 1))]
 
     outcomes = _run_candidates(netlist, device, plan, pool, kernel)
-    placement, routing, timing = min(
+    placement, routing, timing, winner_phases = min(
         outcomes, key=lambda o: (o[0].cost, o[0].seed))
 
     wall = time.perf_counter() - start
+    phase_seconds = dict(winner_phases, synth_s=synth_s)
     report = FlowReport(design, netlist, placement, routing, timing,
-                        device, wall, starts=len(plan))
+                        device, wall, starts=len(plan),
+                        phase_seconds=phase_seconds)
     if placement_cache is not None and signature is not None \
             and report.success:
         placement_cache.store(signature, placement.locations)
@@ -155,7 +173,7 @@ def _run_candidates(netlist: Netlist, device: Device,
                     plan: List[Tuple[int, float, Optional[dict]]],
                     pool, kernel: str
                     ) -> List[Tuple[Placement, RoutingResult,
-                                    TimingReport]]:
+                                    TimingReport, Dict[str, float]]]:
     """Fan the candidate plan across ``pool`` (or run inline)."""
     if pool is None:
         np_, dp = netlist.to_payload(), device.to_payload()

@@ -131,6 +131,31 @@ class Session:
         result = self._wait(request_id, timeout)
         return result.get("stats") or {}
 
+    def metrics(self, timeout: Optional[float] = None) -> dict:
+        """This session's merged metrics snapshot (DESIGN.md §4.7):
+        flat ``name -> value`` with histogram sub-dicts."""
+        request_id = self._send({"type": "metrics"})
+        result = self._wait(request_id, timeout)
+        return result.get("metrics") or {}
+
+    def trace(self, mode: str = "status",
+              limit: Optional[int] = None,
+              timeout: Optional[float] = None) -> dict:
+        """Control/read the server's process-wide tracer.
+
+        ``mode`` is ``on`` / ``off`` / ``status`` / ``events``
+        (``limit`` bounds how many recent events come back).  Returns
+        the result frame minus the envelope keys, e.g.
+        ``{"enabled": True, "buffered": 42, "dropped": 0}``.
+        """
+        frame: dict = {"type": "trace", "mode": mode}
+        if limit is not None:
+            frame["limit"] = limit
+        request_id = self._send(frame)
+        result = self._wait(request_id, timeout)
+        return {k: v for k, v in result.items()
+                if k not in ("type", "id", "ok")}
+
     def send_command(self, line: str) -> int:
         """Fire a command without waiting (see :meth:`wait`) — lets a
         caller overlap a long ``:run`` with other sessions' work."""

@@ -13,10 +13,13 @@ through exactly the same path.
 
 from __future__ import annotations
 
+import re
 import sys
+import time as _time
 from typing import List, Optional
 
 from ..common.errors import CascadeError
+from ..obs import merge_registries, tracer
 from .runtime import Runtime
 
 __all__ = ["Repl", "main"]
@@ -24,8 +27,15 @@ __all__ = ["Repl", "main"]
 _BANNER = """\
 Cascade REPL (Python reproduction).  Implicit components: clk, rst, pad, led.
 Enter Verilog items or statements; end multi-line input with a blank line.
-Commands: :run N (iterations), :time, :where, :stats, :quit
+Commands: :run N (iterations), :time, :where, :stats, :trace, :quit
 """
+
+#: Verilog identifier/keyword tokens, for the completeness heuristic.
+_TOKEN_RE = re.compile(r"[A-Za-z_$][A-Za-z0-9_$]*")
+_OPEN_KEYWORDS = frozenset((
+    "module", "begin", "case", "casez", "casex", "function"))
+_CLOSE_KEYWORDS = frozenset((
+    "endmodule", "end", "endcase", "endfunction"))
 
 
 class Repl:
@@ -36,6 +46,8 @@ class Repl:
         self.runtime = runtime or Runtime(echo=True)
         self.run_between_inputs = run_between_inputs
         self._shown = 0  # output lines already drained
+        self._h_eval = self.runtime.metrics.histogram(
+            "repl.eval_host_s")
 
     # ------------------------------------------------------------------
     def feed(self, text: str) -> List[str]:
@@ -44,6 +56,7 @@ class Repl:
         stripped = text.strip()
         if not stripped:
             return errors
+        t0 = _time.perf_counter()
         try:
             self.runtime.eval_source(text)
         except CascadeError as item_error:
@@ -54,6 +67,7 @@ class Repl:
                 errors.append(str(item_error))
                 return errors
         self.runtime.run(iterations=self.run_between_inputs)
+        self._h_eval.observe(_time.perf_counter() - t0)
         return errors
 
     def feed_file(self, path: str) -> List[str]:
@@ -103,6 +117,30 @@ class Repl:
         if name == ":where":
             return ", ".join(f"{k}:{v}" for k, v in
                              self.runtime.engine_locations().items())
+        if name == ":trace":
+            tr = tracer()
+            sub = parts[1] if len(parts) > 1 else "status"
+            if sub == "on":
+                tr.enable()
+                return "tracing on"
+            if sub == "off":
+                tr.disable()
+                return "tracing off"
+            if sub == "dump":
+                if len(parts) < 3:
+                    return "usage: :trace dump <path>"
+                try:
+                    count = tr.dump(parts[2])
+                except OSError as exc:
+                    return f"trace dump failed: {exc}"
+                return f"wrote {count} events to {parts[2]}"
+            if sub == "status":
+                status = (f"tracing {'on' if tr.enabled else 'off'}, "
+                          f"{len(tr)} events buffered")
+                if tr.dropped:
+                    status += f", {tr.dropped} dropped"
+                return status
+            return "usage: :trace on|off|status|dump <path>"
         if name == ":stats":
             s = self.runtime.compiler.stats()
             host = s["host_seconds"]
@@ -141,6 +179,25 @@ class Repl:
                 f"migrations: {rt.sw_migrations} sw-fast, "
                 f"{rt.hw_migrations} hardware; "
                 f"fast-path compile failures: {rt.fastpath_failures}")
+            # The merged-registry view: every registry in reach,
+            # deduplicated by identity (DESIGN.md §4.7).
+            merged = merge_registries(
+                rt.metrics, rt.compiler.metrics,
+                rt.compiler.cache.metrics,
+                rt.compiler.placements.metrics)
+            lines.append(
+                "reliability: "
+                f"{int(merged.get('estimate.fallbacks', 0))} estimate "
+                f"fallbacks, "
+                f"{int(merged.get('cache.bridge_races', 0))} bridge "
+                f"races, "
+                f"{int(merged.get('cache.disk_corrupt', 0))} corrupt "
+                f"disk entries")
+            tr = tracer()
+            lines.append(
+                f"tracing: {'on' if tr.enabled else 'off'} "
+                f"({len(tr)} events buffered); "
+                f"{len(merged)} metrics registered")
             return "\n".join(lines)
         return f"unknown command {name!r}"
 
@@ -184,12 +241,26 @@ class Repl:
 
     @staticmethod
     def _complete(text: str) -> bool:
-        """A quick completeness check for single-submission inputs."""
-        opens = sum(text.count(k) for k in ("module", "begin", "case",
-                                            "casez", "casex", "function"))
-        closes = sum(text.count(k) for k in ("endmodule", "end", "endcase",
-                                             "endfunction"))
-        return text.rstrip().endswith(";") and opens == 0 and closes == 0
+        """A quick completeness check for single-submission inputs.
+
+        Tokenizes on identifier boundaries — ``text.count("module")``
+        also matched ``endmodule`` (and ``"end"`` matched every
+        ``endcase``/``endfunction``), so the old substring version
+        could never see a balanced input.  Complete means every opener
+        has a closer *and* the input ends at a statement (``;``) or a
+        closing keyword: ``module m; ... endmodule`` submits
+        immediately instead of waiting for a blank line.
+        """
+        tokens = _TOKEN_RE.findall(text)
+        opens = sum(t in _OPEN_KEYWORDS for t in tokens)
+        closes = sum(t in _CLOSE_KEYWORDS for t in tokens)
+        if opens != closes:
+            return False
+        tail = text.rstrip()
+        if tail.endswith(";"):
+            return True
+        return bool(tokens) and tokens[-1] in _CLOSE_KEYWORDS \
+            and tail.endswith(tokens[-1])
 
 
 def main() -> int:

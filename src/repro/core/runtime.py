@@ -31,6 +31,7 @@ from ..common.bits import Bits
 from ..common.errors import CascadeError, SynthesisError
 from ..interp.engine import read_set_of
 from ..ir.build import IRProgram, Subprogram, build_ir
+from ..obs import tracer
 from ..perf.timemodel import PerfTrace, TimeModel
 from ..stdlib.board import VirtualBoard
 from ..stdlib.components import (IMPLICIT_INSTANCES, STDLIB_MODULE_NAMES,
@@ -125,9 +126,19 @@ class Runtime:
         self._oloop_exec_cap = _OLOOP_REAL_CAP
         self._open_loop_active = False
         self._job_generation: Dict[int, int] = {}
-        self.hw_migrations = 0
-        self.sw_migrations = 0
-        self.fastpath_failures = 0
+        #: Runtime counters live in the compile service's registry so
+        #: one ``:stats`` snapshot covers the whole pipeline.
+        self.metrics = self.compiler.metrics
+        self._c_hw_migrations = self.metrics.counter(
+            "runtime.hw_migrations")
+        self._c_sw_migrations = self.metrics.counter(
+            "runtime.sw_migrations")
+        self._c_fastpath_failures = self.metrics.counter(
+            "runtime.fastpath_failures")
+        #: Trace thread id for this runtime's events; the server's
+        #: sessions relabel it so per-tenant lanes separate in the
+        #: Chrome trace view.
+        self.obs_tid = "main"
         self.unsynthesizable: Dict[str, str] = {}
         # The middle JIT tier: in-flight local pycompile jobs, keyed by
         # subprogram name.  Values are (generation, future); the
@@ -136,6 +147,29 @@ class Runtime:
         self._fast_jobs: Dict[str, Tuple[int, "Future"]] = {}
         self._fast_queue = shared_fast_queue()
         self._engines_cache: Optional[List[Tuple[str, Engine]]] = None
+
+    # Historical counter attributes, now views over the registry.
+    @property
+    def hw_migrations(self) -> int:
+        return self._c_hw_migrations.value
+
+    @property
+    def sw_migrations(self) -> int:
+        return self._c_sw_migrations.value
+
+    @property
+    def fastpath_failures(self) -> int:
+        return self._c_fastpath_failures.value
+
+    def _trace_tier_swap(self, name: str, from_tier: str,
+                         to_tier: str, **extra) -> None:
+        tr = tracer()
+        if tr.enabled:
+            args = {"engine": name, "from": from_tier, "to": to_tier}
+            args.update(extra)
+            tr.emit("tier_swap", "runtime",
+                    virtual_ns=self.time_model.now_ns,
+                    tid=self.obs_tid, args=args)
 
     # ------------------------------------------------------------------
     # Program construction
@@ -186,6 +220,7 @@ class Runtime:
     # ------------------------------------------------------------------
     def _rebuild(self) -> None:
         self.generation += 1
+        _t_rebuild = _time.perf_counter()
         root = ast.Module("main", [], list(self.root_items))
         program = build_ir(root, self.library,
                            external=set(STDLIB_MODULE_NAMES),
@@ -265,6 +300,7 @@ class Runtime:
             self._fast_queue.cancel(future)
         self._fast_jobs.clear()
         self.unsynthesizable = {}
+        tr = tracer()
         if self.enable_jit:
             for sub in program.user_subprograms():
                 try:
@@ -272,10 +308,33 @@ class Runtime:
                         sub, self.time_model.now_seconds,
                         self.engines[sub.name].design)  # type: ignore
                     self._job_generation[id(job)] = self.generation
+                    if tr.enabled:
+                        tr.emit("admission", "runtime",
+                                virtual_ns=self.time_model.now_ns,
+                                tid=self.obs_tid,
+                                args={"engine": sub.name,
+                                      "tier": "interpreted",
+                                      "cache_hit": job.cache_hit,
+                                      "ready_at_s": job.ready_at_s})
                 except SynthesisError as exc:
                     self.unsynthesizable[sub.name] = str(exc)
+                    if tr.enabled:
+                        tr.emit("admission", "runtime",
+                                virtual_ns=self.time_model.now_ns,
+                                tid=self.obs_tid,
+                                args={"engine": sub.name,
+                                      "tier": "interpreted",
+                                      "unsynthesizable": str(exc)})
             if self.enable_sw_fastpath:
                 self._submit_fastpath(program)
+        if tr.enabled:
+            tr.emit("eval", "runtime",
+                    dur_us=(_time.perf_counter() - _t_rebuild) * 1e6,
+                    virtual_ns=self.time_model.now_ns,
+                    tid=self.obs_tid,
+                    args={"generation": self.generation,
+                          "subprograms": len(program.subprograms),
+                          "transients": self._had_transients})
         self._needs_rebuild = False
 
     def _submit_fastpath(self, program: IRProgram) -> None:
@@ -425,12 +484,12 @@ class Runtime:
             try:
                 compiled = future.result()
             except Exception:
-                self.fastpath_failures += 1
+                self._c_fastpath_failures.inc()
                 continue
             try:
                 self._swap_to_fastpath(name, compiled)
             except Exception:
-                self.fastpath_failures += 1
+                self._c_fastpath_failures.inc()
 
     def _swap_to_fastpath(self, name: str, compiled) -> None:
         old = self.engines[name]
@@ -458,7 +517,8 @@ class Runtime:
         fast.drain_output_changes()
         self.engines[name] = fast
         self._engines_cache = None
-        self.sw_migrations += 1
+        self._c_sw_migrations.inc()
+        self._trace_tier_swap(name, "interpreted", "sw-fast")
         self.view.info(f"[cascade] {name} switched to compiled "
                        f"software fast path")
 
@@ -496,9 +556,15 @@ class Runtime:
         # the handover is glitch-free.
         hw.evaluate()
         hw.drain_tasks()
+        old_tier = "sw-fast" \
+            if isinstance(old, FastSoftwareEngine) else "interpreted"
         self.engines[name] = hw
         self._engines_cache = None
-        self.hw_migrations += 1
+        self._c_hw_migrations.inc()
+        self._trace_tier_swap(name, old_tier, "hardware",
+                              luts=job.resources["luts"],
+                              compile_s=job.duration_s,
+                              cache_hit=job.cache_hit)
         self.view.info(f"[cascade] {name} migrated to hardware "
                        f"({job.resources['luts']} LUTs, "
                        f"{job.duration_s:.0f}s compile)")
@@ -655,6 +721,7 @@ class Runtime:
             self._rebuild()
         start_s = self.time_model.now_seconds
         start_iter = self.iterations
+        _t_host = _time.perf_counter()
         since_sample = 0
         while self.finished is None:
             if iterations is not None and \
@@ -675,6 +742,16 @@ class Runtime:
                 break
         self.perf.sample(self.time_model.now_seconds,
                          self.iterations // 2)
+        tr = tracer()
+        if tr.enabled:
+            tr.emit("scheduler_slice", "runtime",
+                    dur_us=(_time.perf_counter() - _t_host) * 1e6,
+                    virtual_ns=self.time_model.now_ns,
+                    tid=self.obs_tid,
+                    args={"iterations": self.iterations - start_iter,
+                          "virtual_advance_s":
+                              self.time_model.now_seconds - start_s,
+                          "finished": self.finished is not None})
         self.view.flush()
 
     def run_until_finish(self, max_virtual_seconds: float = 3600.0,

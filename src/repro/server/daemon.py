@@ -33,6 +33,7 @@ import time
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..backend.cache import BitstreamCache, PlacementCache
+from ..obs import MetricsRegistry, merge_registries
 from .protocol import FrameError, recv_frame, send_frame
 from .scheduler import SessionScheduler
 from .session import Session, default_max_sessions
@@ -84,11 +85,16 @@ class CascadeServer:
         self.service_kwargs = service_kwargs
         self.runtime_kwargs = runtime_kwargs
 
+        #: The server-wide metrics registry: session admission
+        #: counters plus the shared caches' metrics live here, so one
+        #: snapshot covers the cross-tenant substrate.
+        self.metrics = MetricsRegistry()
+
         #: Shared across every tenant: the cross-tenant dedup
         #: substrate.  Sessions get their own CompileService wired to
         #: these (virtual-time isolated) and to the process-wide pools.
-        self.cache = BitstreamCache()
-        self.placements = PlacementCache()
+        self.cache = BitstreamCache(registry=self.metrics)
+        self.placements = PlacementCache(registry=self.metrics)
 
         self.scheduler = SessionScheduler(
             self, window_budget_s=window_budget_s)
@@ -101,13 +107,29 @@ class CascadeServer:
         self._next_id = 1
 
         self.started_at = time.monotonic()
-        self.sessions_total = 0
-        self.sessions_rejected = 0
-        self.sessions_evicted = 0
+        self._c_sessions_total = self.metrics.counter(
+            "server.sessions_total")
+        self._c_sessions_rejected = self.metrics.counter(
+            "server.sessions_rejected")
+        self._c_sessions_evicted = self.metrics.counter(
+            "server.sessions_evicted")
         self._closed_totals = {"frames_in": 0, "frames_out": 0,
                                "dropped_outputs": 0,
                                "cross_tenant_hits": 0,
                                "single_flight_joins": 0}
+
+    # Historical counter attributes, now views over the registry.
+    @property
+    def sessions_total(self) -> int:
+        return self._c_sessions_total.value
+
+    @property
+    def sessions_rejected(self) -> int:
+        return self._c_sessions_rejected.value
+
+    @property
+    def sessions_evicted(self) -> int:
+        return self._c_sessions_evicted.value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -191,12 +213,12 @@ class CascadeServer:
         with self._lock:
             active = len(self._sessions)
             if active >= self.max_sessions:
-                self.sessions_rejected += 1
+                self._c_sessions_rejected.inc()
                 session = None
             else:
                 session_id = self._next_id
                 self._next_id += 1
-                self.sessions_total += 1
+                self._c_sessions_total.inc()
                 session = Session(
                     session_id, conn, peer,
                     cache=self.cache, placements=self.placements,
@@ -246,6 +268,12 @@ class CascadeServer:
                 elif kind == "server-stats":
                     session.enqueue("server-stats", frame.get("id"),
                                     None)
+                elif kind == "metrics":
+                    session.enqueue("metrics", frame.get("id"), None)
+                elif kind == "trace":
+                    session.enqueue("trace", frame.get("id"),
+                                    (frame.get("mode", "status"),
+                                     frame.get("limit")))
                 elif kind == "bye":
                     session.enqueue("bye", None, None)
                     break
@@ -307,8 +335,7 @@ class CascadeServer:
     def close_session(self, session: Session, reason: str) -> None:
         if session.begin_goodbye(reason):
             if reason == "idle":
-                with self._lock:
-                    self.sessions_evicted += 1
+                self._c_sessions_evicted.inc()
 
     def sweep_idle(self) -> None:
         """Evict sessions with no inbound traffic for the idle window
@@ -362,5 +389,13 @@ class CascadeServer:
                 "work_items": self.scheduler.work_items,
                 "window_budget_s": self.scheduler.window_budget_s,
             },
+            "metrics": self.metrics_snapshot(),
             "sessions": per_session,
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The server registry's snapshot: admission counters plus the
+        shared caches' metrics.  Per-session registries are *not*
+        merged here — every session uses the same metric names, so the
+        per-tenant view lives in the session-level ``metrics`` op."""
+        return merge_registries(self.metrics)

@@ -10,6 +10,11 @@ Client → server frames (``type`` field):
 * ``eval``    — ``{"type": "eval", "id": N, "src": <verilog>}``
 * ``command`` — ``{"type": "command", "id": N, "line": ":stats"}``
 * ``server-stats`` — ``{"type": "server-stats", "id": N}``
+* ``metrics`` — ``{"type": "metrics", "id": N}`` — this session's
+  merged metrics-registry snapshot (DESIGN.md §4.7)
+* ``trace``   — ``{"type": "trace", "id": N, "mode": "on"|"off"|
+  "status"|"events", "limit": M}`` — control/read the process-wide
+  tracer (``events`` returns up to ``limit`` recent trace events)
 * ``bye``     — ``{"type": "bye"}``
 
 Server → client frames:

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import os
 import threading
+import time as _time
 from typing import Optional
 
+from ..obs import tracer
 from .session import Session
 
 __all__ = ["SessionScheduler", "default_window_budget"]
@@ -130,6 +132,13 @@ class SessionScheduler:
             session.push_frame({"type": "result", "id": request_id,
                                 "ok": True,
                                 "stats": self.server.stats()})
+        elif kind == "metrics":
+            session.push_frame({"type": "result", "id": request_id,
+                                "ok": True,
+                                "metrics": session.metrics_snapshot()})
+        elif kind == "trace":
+            mode, limit = payload
+            self._trace_op(session, request_id, str(mode), limit)
         elif kind == "bye":
             self.server.close_session(session, "client")
         return True
@@ -159,13 +168,57 @@ class SessionScheduler:
         session.push_frame({"type": "result", "id": request_id,
                             "ok": True, "text": out})
 
+    def _trace_op(self, session: Session,
+                  request_id: Optional[int], mode: str,
+                  limit: Optional[int]) -> None:
+        """The ``trace`` protocol op: process-wide tracer control.
+
+        Tracing is a process-level switch — one tenant turning it on
+        observes every session's events, which is the point of a
+        server-operator debugging surface (events carry per-session
+        tids, so lanes still separate in the viewer)."""
+        tr = tracer()
+        if mode == "on":
+            tr.enable()
+            result = {"enabled": True}
+        elif mode == "off":
+            tr.disable()
+            result = {"enabled": False}
+        elif mode == "events":
+            try:
+                bound = int(limit) if limit is not None else 1000
+            except (TypeError, ValueError):
+                bound = 1000
+            result = {"enabled": tr.enabled,
+                      "events": tr.event_dicts(limit=bound)}
+        elif mode == "status":
+            result = {"enabled": tr.enabled, "buffered": len(tr),
+                      "dropped": tr.dropped}
+        else:
+            session.push_frame({
+                "type": "result", "id": request_id, "ok": False,
+                "errors": [f"unknown trace mode {mode!r} "
+                           f"(use on|off|status|events)"]})
+            return
+        session.push_frame(dict({"type": "result", "id": request_id,
+                                 "ok": True}, **result))
+
     def _run_slice(self, session: Session) -> None:
         request_id, requested, remaining = session.pending_run
         runtime = session.runtime
         before = runtime.iterations
+        t0 = _time.perf_counter()
         runtime.run(iterations=remaining,
                     virtual_seconds=self.window_budget_s)
         did = runtime.iterations - before
+        tr = tracer()
+        if tr.enabled:
+            tr.emit("scheduler_slice", "server",
+                    dur_us=(_time.perf_counter() - t0) * 1e6,
+                    virtual_ns=runtime.time_model.now_ns,
+                    tid=runtime.obs_tid,
+                    args={"session": session.id, "iterations": did,
+                          "remaining": max(remaining - did, 0)})
         remaining -= did
         if remaining <= 0 or did == 0:
             # did == 0 means the program is finished ($finish) or has

@@ -27,6 +27,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..backend.compiler import CompileService
 from ..core.repl import Repl
 from ..core.runtime import Runtime, View
+from ..obs import merge_registries
 
 __all__ = ["Session", "SessionView", "default_max_sessions",
            "default_session_queue"]
@@ -111,6 +112,9 @@ class Session:
         rt_kwargs = dict(runtime_kwargs or {})
         self.runtime = Runtime(compile_service=self.service, view=view,
                                **rt_kwargs)
+        # Per-tenant trace lane: events this runtime emits separate
+        # into their own thread row in the Chrome trace view.
+        self.runtime.obs_tid = f"session-{session_id}"
         self.repl = Repl(self.runtime,
                          run_between_inputs=run_between_inputs)
 
@@ -195,6 +199,14 @@ class Session:
         return True
 
     # -- introspection -------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """This tenant's registries, merged (runtime/service share one;
+        the shared caches' registry is the server's)."""
+        return merge_registries(self.runtime.metrics,
+                                self.service.metrics,
+                                self.service.cache.metrics,
+                                self.service.placements.metrics)
+
     def stats(self) -> Dict[str, object]:
         rt = self.runtime
         with self._out_lock:

@@ -59,6 +59,106 @@ class TestRepl:
         assert repl.runtime.board.leds.value == 2
 
 
+class TestCompletenessHeuristic:
+    """_complete must tokenize, not substring-count: ``"module" in
+    "endmodule"`` made every balanced input look unbalanced."""
+
+    def test_simple_statement_is_complete(self):
+        assert Repl._complete("x <= 1;")
+        assert Repl._complete("wire [3:0] w;")
+
+    def test_one_line_module_is_complete(self):
+        assert Repl._complete(
+            "module m(input wire a, output wire b); "
+            "assign b = a; endmodule")
+        assert Repl._complete(
+            "module m(); endmodule;")
+
+    def test_open_blocks_are_incomplete(self):
+        assert not Repl._complete("module m(input wire a);")
+        assert not Repl._complete("always @(posedge clk) begin")
+        assert not Repl._complete(
+            "case (n) 0: x = 1;")  # awaiting endcase
+
+    def test_balanced_begin_end_completes(self):
+        assert Repl._complete(
+            "always @(posedge clk) begin n <= n + 1; end")
+        assert Repl._complete(
+            "module m(); always @(posedge clk) begin "
+            "n <= n + 1; end endmodule")
+
+    def test_keywords_inside_identifiers_do_not_count(self):
+        # "backend" contains "end"; "modulex" contains "module".
+        assert Repl._complete("wire backend;")
+        assert Repl._complete("reg modulex = 0;")
+        assert not Repl._complete("function f; backend = 1;")
+
+    def test_casez_casex_pair_with_endcase(self):
+        assert Repl._complete(
+            "always @(*) casez (n) 2'b1?: y = 1; endcase")
+        assert not Repl._complete("casez (n) 2'b1?: y = 1;")
+
+
+class TestInteract:
+    """The interactive loop, driven end-to-end through StringIO."""
+
+    def make(self):
+        return Repl(Runtime(), run_between_inputs=16)
+
+    def _run(self, script):
+        repl = self.make()
+        stdin = io.StringIO(script)
+        stdout = io.StringIO()
+        repl.interact(stdin, stdout)
+        return repl, stdout.getvalue()
+
+    def test_multi_line_module_buffers_until_balanced(self):
+        repl, out = self._run(
+            "module Inc(input wire [3:0] a, output wire [3:0] b);\n"
+            "assign b = a + 1;\n"
+            "endmodule\n"
+            "reg [3:0] n = 3;\n"
+            "Inc i(.a(n), .b());\n"
+            ":quit\n")
+        # The module declaration submitted at 'endmodule' (balanced),
+        # without needing a blank line; no errors were printed.
+        assert "error:" not in out
+        assert "Inc" in repl.runtime.library.modules
+
+    def test_one_line_module_submits_immediately(self):
+        repl, out = self._run(
+            "module M(input wire a, output wire b); "
+            "assign b = a; endmodule\n"
+            ":quit\n")
+        assert "error:" not in out
+
+    def test_statement_and_output(self):
+        _, out = self._run('$display("ping");\n:quit\n')
+        assert "ping" in out
+
+    def test_commands_and_blank_line_submission(self):
+        _, out = self._run(
+            "wire t_clk;\n"
+            "reg [3:0] r = 0;\n"
+            "always @(posedge t_clk) begin\n"
+            "r <= r + 1;\n"
+            "end\n"
+            "\n"
+            ":time\n"
+            ":stats\n"
+            ":quit\n")
+        assert "virtual time" in out
+        assert "reliability:" in out
+
+    def test_unknown_command_reported(self):
+        _, out = self._run(":bogus\n:quit\n")
+        assert "unknown command" in out
+
+    def test_eof_ends_loop(self):
+        _, out = self._run("wire w;\n")
+        assert "CASCADE >>>" in out
+
+
 class TestElaboration:
     def test_full_hierarchy_flattening(self):
         src = parse_source("""

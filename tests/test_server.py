@@ -245,6 +245,34 @@ class TestServerSessions:
             assert stats["sessions_active"] == 1
             assert stats["scheduler"]["turns"] > 0
 
+    def test_metrics_and_trace_ops(self, server_factory):
+        from repro.obs import tracer
+        server = server_factory()
+        try:
+            with connect(server.address) as session:
+                assert session.eval(TENANT_SRC, timeout=30) == []
+                session.command(":run 50", timeout=30)
+                metrics = session.metrics(timeout=30)
+                assert metrics["compile.attempted"] >= 1
+                assert "cache.hits" in metrics
+                status = session.trace(timeout=30)
+                assert status == {"enabled": False, "buffered": 0,
+                                  "dropped": 0}
+                assert session.trace("on", timeout=30)["enabled"]
+                session.command(":run 50", timeout=30)
+                got = session.trace("events", limit=500, timeout=30)
+                names = {e["name"] for e in got["events"]}
+                assert "scheduler_slice" in names
+                assert not session.trace("off",
+                                         timeout=30)["enabled"]
+                bad = session.trace("sideways", timeout=30)
+                assert "unknown trace mode" in str(bad)
+                stats = session.server_stats(timeout=30)
+                assert stats["metrics"]["server.sessions_total"] == 1
+        finally:
+            tracer().disable()
+            tracer().clear()
+
     def test_quit_command_closes_session(self, server_factory):
         server = server_factory()
         session = connect(server.address)
